@@ -1,0 +1,97 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these bound the knobs the paper fixes (replacement
+policy, prefetcher, write-back policy, D2H bandwidth, TO degree) and
+assert the directional expectations.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_replacement_policy(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.run_replacement(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    # Access-ordered LRU (hot pages protected) should not lose badly to
+    # the driver's aged LRU on average.
+    assert result.value("AVERAGE", "baseline") > 0.8
+
+
+def test_ablation_prefetcher(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.run_prefetch(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    # The tree prefetcher actually prefetches...
+    assert result.value("AVERAGE", "prefetched_pages") > 0
+    # ...and does not cripple the baseline on average.
+    assert result.value("AVERAGE", "baseline") > 0.75
+
+
+def test_ablation_dirty_tracking(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.run_dirty(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    skip = result.value("AVERAGE", "skip_clean")
+    ue = result.value("AVERAGE", "ue")
+    ue_skip = result.value("AVERAGE", "ue_plus_skip")
+    # Skipping clean write-backs helps the serialized baseline...
+    assert skip > 1.0
+    # ...but UE, which hides evictions entirely, subsumes it.
+    assert ue >= skip - 0.05
+    assert abs(ue_skip - ue) < 0.1 * ue
+
+
+def test_ablation_d2h_bandwidth(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.run_bandwidth(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    speedups = result.column("ue_speedup")
+    # UE wins at every bandwidth point...
+    assert all(s > 1.0 for s in speedups)
+    # ...and wins *most* when D2H is slow (the baseline's serialized
+    # evictions are then most expensive).
+    assert speedups[0] == max(speedups)
+
+
+def test_ablation_runahead_vs_to(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.run_runahead(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    # Section 4.1's claim: runahead is the weaker way to grow batches.
+    # With honest (dependence-limited) probing it must not decisively beat
+    # TO on average, and unlike TO it may backfire on individual
+    # workloads.
+    assert result.value("AVERAGE", "runahead") <= (
+        result.value("AVERAGE", "to") + 0.1
+    )
+    # Both mechanisms do reduce batch counts overall.
+    assert result.value("AVERAGE", "to_batches_pct") < 100.0
+
+
+def test_ablation_to_degree(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.run_to_degree(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    # Degree 0 = pure UE: no context switches.
+    assert result.value("degree=0", "context_switches") == 0
+    # Some oversubscription beats none for this workload.
+    degree_speedups = result.column("speedup")
+    assert max(degree_speedups[1:]) >= degree_speedups[0] - 0.02

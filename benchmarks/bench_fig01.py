@@ -1,0 +1,28 @@
+"""Figure 1 — working set vs. active GPU core count.
+
+Shape: regular workloads' working set scales with SM count (tiny 1-SM
+working set); irregular graph workloads stay nearly flat because most
+pages are shared across cores.
+"""
+
+from repro.experiments import fig01_working_set
+
+
+def test_fig1_working_set_scaling(benchmark, bench_scale, experiment_cache,
+                                  save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(fig01_working_set, bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    summary = fig01_working_set.sharing_summary(result)
+    # Regular: 1-SM working set is a small fraction of the 16-SM one.
+    assert summary["regular_1sm"] < 0.35
+    # Irregular: most pages shared -> 1-SM working set stays large.
+    assert summary["irregular_1sm"] > 2 * summary["regular_1sm"]
+    # Every curve is normalised to 1.0 at 16 SMs and non-decreasing overall.
+    for label, values in result.rows:
+        curve = [values[col] for col in result.columns]
+        assert curve[-1] == 1.0, label
+        assert curve[0] <= curve[-1] + 1e-9, label

@@ -1,0 +1,21 @@
+"""Figure 3 — per-page fault handling time falls as batches grow."""
+
+from repro.experiments import fig03_per_page_time
+
+
+def test_fig3_per_page_time_amortisation(benchmark, bench_scale,
+                                         experiment_cache, save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(fig03_per_page_time, bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    assert result.rows, "no batches recorded"
+    means = fig03_per_page_time.bucket_means(result, num_buckets=4)
+    assert len(means) >= 2
+    # Smallest-batch bucket is the most expensive per page; largest is the
+    # cheapest (hyperbolic amortisation of the fixed fault-handling cost).
+    per_page = [us for _, us in means]
+    assert per_page[0] == max(per_page)
+    assert per_page[-1] == min(per_page)

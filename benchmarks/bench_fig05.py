@@ -1,0 +1,27 @@
+"""Figure 5 — context switching hurts traditional (fully resident) GPUs."""
+
+from repro.experiments import fig05_context_switch
+
+
+def test_fig5_context_switch_degradation(benchmark, bench_scale,
+                                         experiment_cache, save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(fig05_context_switch, bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    average = result.value("AVERAGE", "relative_perf")
+    # Forced oversubscription must cost performance on average (the paper
+    # reports 0.51 relative performance) and never help meaningfully.
+    assert average < 1.0
+    for label, values in result.rows:
+        if label != "AVERAGE":
+            assert values["relative_perf"] <= 1.05, label
+    # At least some workloads pay a visible (>5%) penalty.
+    penalised = [
+        label
+        for label, values in result.rows
+        if label != "AVERAGE" and values["relative_perf"] < 0.95
+    ]
+    assert penalised

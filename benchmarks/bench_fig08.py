@@ -1,0 +1,24 @@
+"""Figure 8 — oversubscription cost and the ideal-eviction bound."""
+
+from repro.experiments import fig08_eviction_impact
+
+
+def test_fig8_oversubscription_and_ideal_eviction(benchmark, bench_scale,
+                                                  experiment_cache,
+                                                  save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(fig08_eviction_impact, bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    base_avg = result.value("AVERAGE", "baseline")
+    ideal_avg = result.value("AVERAGE", "ideal_eviction")
+    # Oversubscription costs a large fraction of performance on average.
+    assert base_avg < 0.75
+    # Removing eviction latency recovers part of it, but not all.
+    assert ideal_avg > base_avg
+    assert ideal_avg < 1.0
+    # Per-workload: ideal eviction never loses to the baseline.
+    for label, values in result.rows:
+        assert values["ideal_eviction"] >= values["baseline"] * 0.99, label

@@ -1,0 +1,23 @@
+"""Figure 13 — TO grows the average batch size."""
+
+from repro.experiments import fig13_batch_size
+
+
+def test_fig13_bigger_batches_under_to(benchmark, bench_scale,
+                                       experiment_cache, save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(fig13_batch_size, bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    # Average relative batch size exceeds the baseline's 100%.
+    assert result.value("AVERAGE", "relative_pct") > 100.0
+    # A majority of workloads individually grow their batches.
+    grown = [
+        label
+        for label, values in result.rows
+        if label != "AVERAGE" and values["relative_pct"] >= 100.0
+    ]
+    total = len(result.rows) - 1
+    assert len(grown) >= total // 2

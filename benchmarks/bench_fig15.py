@@ -1,0 +1,22 @@
+"""Figure 15 — premature evictions stay bounded under TO."""
+
+from repro.experiments import fig15_premature_eviction
+
+
+def test_fig15_premature_evictions_bounded(benchmark, bench_scale,
+                                           experiment_cache, save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(fig15_premature_eviction, bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    base_avg = result.value("AVERAGE", "baseline_pct")
+    to_avg = result.value("AVERAGE", "to_pct")
+    # The adaptive degree controller bounds the average increase to a
+    # modest amount (the paper finds TO *decreases* it for most workloads).
+    assert to_avg <= base_avg * 1.25 + 5.0
+    # Rates are valid percentages.
+    for label, values in result.rows:
+        assert 0.0 <= values["baseline_pct"] <= 100.0, label
+        assert 0.0 <= values["to_pct"] <= 100.0, label

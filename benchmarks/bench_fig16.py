@@ -1,0 +1,30 @@
+"""Figure 16 — batch-size distribution shift and the efficiency curve."""
+
+from repro.experiments import fig16_batch_distribution
+
+
+def test_fig16_distribution_shifts_right(benchmark, bench_scale,
+                                         experiment_cache, save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(fig16_batch_distribution, bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    base_mean = fig16_batch_distribution.mean_bucket("baseline_frac", result)
+    to_mean = fig16_batch_distribution.mean_bucket("to_frac", result)
+    # TO shifts batch-size mass toward larger buckets.
+    assert to_mean >= base_mean
+    # Both distributions are proper (fractions sum to ~1).
+    for column in ("baseline_frac", "to_frac"):
+        total = sum(values[column] for _, values in result.rows)
+        assert abs(total - 1.0) < 1e-6, column
+    # Efficiency generally rises with batch size: the biggest bucket with
+    # data beats the smallest.
+    effs = [
+        values["efficiency"]
+        for _, values in result.rows
+        if values["efficiency"] > 0
+    ]
+    if len(effs) >= 2:
+        assert effs[-1] > effs[0]

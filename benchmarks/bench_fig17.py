@@ -1,0 +1,26 @@
+"""Figure 17 — sensitivity to the memory oversubscription ratio."""
+
+from repro.experiments import fig17_oversubscription_sweep
+
+
+def test_fig17_ratio_sensitivity(benchmark, bench_scale, experiment_cache,
+                                 save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(fig17_oversubscription_sweep, bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    times = result.column("relative_exec_time")
+    speedups = result.column("ue_speedup")
+    # Execution time falls (or holds) as memory grows; the smallest memory
+    # is the slowest and full memory is 1.0 by construction.
+    assert times[0] == max(times)
+    assert times[-1] == 1.0
+    assert times[0] > 1.5
+    # UE speedup is exactly 1.0 when everything fits...
+    assert speedups[-1] == 1.0
+    # ...and grows with eviction pressure: best speedup occurs at a
+    # smaller ratio than full memory.
+    assert max(speedups) > 1.02
+    assert speedups.index(max(speedups)) < len(speedups) - 1

@@ -1,0 +1,14 @@
+"""Table 1 — simulated system configuration."""
+
+from repro.experiments import table1_config
+
+
+def test_table1_configuration(benchmark, experiment_cache, save_table):
+    result = benchmark.pedantic(
+        lambda: experiment_cache(table1_config, "paper"),
+        rounds=1,
+        iterations=1,
+    )
+    print(save_table(result))
+    for label, expected in table1_config.PAPER_TABLE1.items():
+        assert result.value(label, "value") == expected, label

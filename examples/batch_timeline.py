@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Visualise the batch processing mechanism (the paper's Figure 2).
+
+Attaches a timeline tracer to a simulation and renders the first few
+fault batches as ASCII lanes: the GPU-runtime fault-handling window,
+the migration stream, eviction starts and page arrivals.  Run it twice —
+baseline vs. TO+UE — and watch the batches get bigger and fewer while the
+eviction marks slide out of the migration stream.
+
+    python examples/batch_timeline.py --workload BFS-TWC
+"""
+
+import argparse
+
+from repro import GpuUvmSimulator, build_workload, systems, workload_names
+from repro.sim.timeline import Timeline, render_batches, summarize
+from repro.workloads.registry import SCALES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    parser.add_argument(
+        "--workload", default="BFS-TTC", choices=workload_names("irregular")
+    )
+    parser.add_argument("--batches", type=int, default=6,
+                        help="number of batch lanes to draw")
+    args = parser.parse_args()
+
+    workload = build_workload(args.workload, scale=args.scale)
+    ratio = SCALES[args.scale].half_memory_ratio
+
+    for preset in (systems.BASELINE, systems.TO_UE):
+        timeline = Timeline()
+        config = preset.configure(workload, ratio=ratio)
+        result = GpuUvmSimulator(workload, config, timeline=timeline).run()
+        print(f"=== {preset.name} ({args.workload}) ===")
+        print(render_batches(timeline, max_batches=args.batches))
+        counts = summarize(timeline)
+        print(
+            f"totals: {counts.get('batch_begin', 0)} batches, "
+            f"{counts.get('page_arrival', 0)} migrations, "
+            f"{counts.get('evict_start', 0)} evictions, "
+            f"exec {result.exec_cycles:,} cycles"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

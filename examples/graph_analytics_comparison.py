@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare every memory-management system across graph-analytics workloads.
+
+The scenario from the paper's introduction: a suite of graph computations
+(traversal, ranking, colouring, shortest paths) whose working sets exceed
+GPU memory.  For each workload the script runs all six systems of
+Figure 11 and prints a speedup table plus the batch-level explanation.
+
+    python examples/graph_analytics_comparison.py --workloads BFS-TTC PR KCORE
+"""
+
+import argparse
+
+from repro import GpuUvmSimulator, build_workload, systems, workload_names
+from repro.workloads.registry import SCALES
+
+SYSTEMS = (
+    systems.BASELINE,
+    systems.BASELINE_PCIE_COMPRESSION,
+    systems.TO,
+    systems.UE,
+    systems.TO_UE,
+    systems.ETC,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=["BFS-TTC", "BFS-TWC", "PR", "KCORE"],
+        choices=workload_names("irregular"),
+    )
+    args = parser.parse_args()
+    ratio = SCALES[args.scale].half_memory_ratio
+
+    header = f"{'workload':10s}" + "".join(
+        f"{preset.name:>16s}" for preset in SYSTEMS
+    )
+    print(header)
+    print("-" * len(header))
+
+    averages = {preset.name: [] for preset in SYSTEMS}
+    for name in args.workloads:
+        workload = build_workload(name, scale=args.scale)
+        runs = {}
+        for preset in SYSTEMS:
+            config = preset.configure(workload, ratio=ratio)
+            runs[preset.name] = GpuUvmSimulator(workload, config).run()
+        base = runs["BASELINE"].exec_cycles
+        cells = []
+        for preset in SYSTEMS:
+            speedup = base / runs[preset.name].exec_cycles
+            averages[preset.name].append(speedup)
+            cells.append(f"{speedup:>15.2f}x")
+        print(f"{name:10s}" + "".join(cells))
+
+    print("-" * len(header))
+    cells = []
+    for preset in SYSTEMS:
+        vals = averages[preset.name]
+        cells.append(f"{sum(vals) / len(vals):>15.2f}x")
+    print(f"{'AVERAGE':10s}" + "".join(cells))
+    print(
+        "\nThe paper's headline: TO+UE averages ~2x over the prefetching "
+        "baseline and beats ETC by ~79% on these irregular workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""How graph structure changes UVM behaviour: power-law vs. uniform.
+
+The paper's irregular workloads run on real (power-law) graphs, where a
+few hub vertices concentrate edge traffic.  This study builds the same
+BFS on an R-MAT graph and on a uniform-random graph of identical size,
+runs both under the baseline and TO+UE, and compares the batch anatomy —
+hub concentration changes page sharing, and with it premature evictions
+and the value of the paper's mechanisms.
+
+    python examples/graph_structure_study.py --vertices 2048 --degree 8
+"""
+
+import argparse
+
+from repro import GpuUvmSimulator, systems
+from repro.workloads.bfs import build_bfs_ttc
+from repro.workloads.graph import generate_rmat, generate_uniform
+
+PAGE_SIZE = 4096
+RATIO = 0.8
+
+
+def study(label, graph) -> None:
+    workload = build_bfs_ttc(graph, page_size=PAGE_SIZE)
+    workload.num_sms_hint = 1
+    degrees = graph.degrees()
+    print(
+        f"--- {label}: {graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges, max degree {int(degrees.max())}, "
+        f"{workload.footprint_pages} pages ---"
+    )
+    results = {}
+    for preset in (systems.BASELINE, systems.TO_UE):
+        config = preset.configure(workload, ratio=RATIO)
+        results[preset.name] = GpuUvmSimulator(workload, config).run()
+    for name, result in results.items():
+        print(f"[{name}]")
+        print(result.summary())
+    speedup = results["BASELINE"].exec_cycles / results["TO+UE"].exec_cycles
+    print(f"TO+UE speedup on {label}: {speedup:.2f}x\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=2048)
+    parser.add_argument("--degree", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    study("R-MAT (power law)",
+          generate_rmat(args.vertices, args.degree, seed=args.seed))
+    study("uniform random",
+          generate_uniform(args.vertices, args.degree, seed=args.seed))
+    print(
+        "Hubs concentrate destination-property traffic onto fewer hot "
+        "pages, so the power-law graph typically sees better page reuse "
+        "per batch — and different headroom for TO+UE — than the uniform "
+        "one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Sweep the memory oversubscription ratio (the Figure 17 scenario).
+
+Shows how the cost of demand paging explodes as the GPU memory shrinks
+relative to the application footprint, and how Unobtrusive Eviction's
+benefit scales with eviction pressure.
+
+    python examples/oversubscription_sweep.py --workload BFS-TWC
+"""
+
+import argparse
+
+from repro import GpuUvmSimulator, build_workload, systems, workload_names
+from repro.workloads.registry import SCALES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    parser.add_argument(
+        "--workload", default="BFS-TTC", choices=workload_names("irregular")
+    )
+    parser.add_argument(
+        "--ratios",
+        nargs="*",
+        type=float,
+        default=[0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+    )
+    args = parser.parse_args()
+
+    workload = build_workload(args.workload, scale=args.scale)
+    print(
+        f"{args.workload}: footprint {workload.footprint_pages} pages; "
+        "sweeping GPU memory capacity\n"
+    )
+
+    # Reference: everything resident.
+    full_cfg = systems.BASELINE.configure(workload, ratio=1.0)
+    full_cycles = GpuUvmSimulator(workload, full_cfg).run().exec_cycles
+
+    print(
+        f"{'ratio':>6} {'frames':>7} {'baseline cycles':>16} "
+        f"{'rel. time':>10} {'UE speedup':>11} {'evictions':>10}"
+    )
+    for ratio in args.ratios:
+        base_cfg = systems.BASELINE.configure(workload, ratio=ratio)
+        ue_cfg = systems.UE.configure(workload, ratio=ratio)
+        base = GpuUvmSimulator(workload, base_cfg).run()
+        ue = GpuUvmSimulator(workload, ue_cfg).run()
+        frames = base_cfg.uvm.frames or workload.footprint_pages
+        print(
+            f"{ratio:>6.1f} {frames:>7} {base.exec_cycles:>16,} "
+            f"{base.exec_cycles / full_cycles:>9.2f}x "
+            f"{base.exec_cycles / ue.exec_cycles:>10.2f}x "
+            f"{base.evicted_pages:>10,}"
+        )
+
+    print(
+        "\nShape to look for (paper Figure 17): execution time grows "
+        "steeply as the ratio falls, and UE's speedup grows with it "
+        "(1.0x when everything fits)."
+    )
+
+
+if __name__ == "__main__":
+    main()

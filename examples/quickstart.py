@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate BFS under UVM demand paging, with and without the
+paper's batch-aware mechanisms.
+
+Runs breadth-first search on a synthetic power-law graph whose footprint
+does not fit in GPU memory, first on the prefetching baseline and then
+with Thread Oversubscription + Unobtrusive Eviction (the paper's TO+UE),
+and prints the batch-level view of why TO+UE wins.
+
+    python examples/quickstart.py [--scale tiny|small|medium]
+"""
+
+import argparse
+
+from repro import GpuUvmSimulator, build_workload, systems
+from repro.workloads.registry import SCALES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    parser.add_argument("--workload", default="BFS-TTC")
+    args = parser.parse_args()
+
+    ratio = SCALES[args.scale].half_memory_ratio
+    workload = build_workload(args.workload, scale=args.scale)
+    print(
+        f"{workload.name}: {workload.footprint_pages} pages "
+        f"({workload.footprint_bytes // 1024} KB), "
+        f"{len(workload.kernels)} kernel launches, {workload.num_ops} warp ops"
+    )
+    print(f"GPU memory capped at {ratio:.0%} of the footprint\n")
+
+    results = {}
+    for preset in (systems.BASELINE, systems.TO_UE):
+        config = preset.configure(workload, ratio=ratio)
+        results[preset.name] = GpuUvmSimulator(workload, config).run()
+
+    base, to_ue = results["BASELINE"], results["TO+UE"]
+    for name, result in results.items():
+        stats = result.batch_stats
+        print(f"--- {name} ---")
+        print(f"  execution time:        {result.exec_cycles:>12,} cycles")
+        print(f"  batches processed:     {stats.num_batches:>12,}")
+        print(f"  avg batch size:        {stats.mean_batch_pages:>12.1f} pages")
+        print(f"  avg batch time:        {stats.mean_processing_time:>12,.0f} cycles")
+        print(f"  pages migrated:        {result.migrated_pages:>12,}")
+        print(f"  pages evicted:         {result.evicted_pages:>12,}")
+        print(f"  premature evictions:   {result.premature_eviction_rate:>12.1%}")
+        print(f"  context switches:      {result.context_switches:>12,}")
+        print()
+
+    print(f"TO+UE speedup over baseline: {to_ue.speedup_over(base):.2f}x")
+    print(
+        "batches: "
+        f"{base.batch_stats.num_batches} -> {to_ue.batch_stats.num_batches}, "
+        "avg batch pages: "
+        f"{base.batch_stats.mean_batch_pages:.1f} -> "
+        f"{to_ue.batch_stats.mean_batch_pages:.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

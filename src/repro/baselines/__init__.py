@@ -1,0 +1,5 @@
+"""Comparison systems from prior work, implemented for the evaluation."""
+
+from repro.baselines.etc import EtcController
+
+__all__ = ["EtcController"]

@@ -1,0 +1,143 @@
+"""ETC baseline — eviction-throttling-compression (Li et al., ASPLOS'19).
+
+ETC classifies applications and applies three techniques:
+
+* **Proactive eviction (PE)** — evict ahead of predicted demand.  The ETC
+  authors disable PE for irregular applications because timing prediction
+  fails when a large number of pages is touched in a short window; the
+  paper replicates that, and so do we (``proactive_eviction=False`` by
+  default).  When enabled (for ablations), the controller keeps a small
+  pool of frames free by issuing evictions at batch end.
+* **Memory-aware throttling (MT)** — disable a fraction of the SMs to
+  shrink the instantaneous working set.  Triggered on the first eviction;
+  afterwards it alternates a *detection epoch* (all SMs on, measure the
+  thrashing rate) and an *execution epoch* (throttle if the last detection
+  showed thrashing above the level that throttling achieved).  For
+  irregular workloads pages are shared across blocks, so throttling does
+  not shrink the working set — the effect the paper's Figure 1 documents.
+* **Capacity compression (CC)** — store resident pages compressed,
+  multiplying the effective frame count at a small per-access latency
+  cost.  Applied at simulator construction via
+  :class:`repro.uvm.compression.CapacityCompression`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.batching import BatchRecord
+from repro.gpu.config import EtcConfig
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.sim.engine import Engine
+from repro.uvm.memory_manager import GpuMemoryManager
+from repro.uvm.runtime import UvmRuntime
+
+
+class EtcController:
+    """MT epochs + optional PE; CC is applied when the simulator is built."""
+
+    def __init__(
+        self,
+        config: EtcConfig,
+        engine: Engine,
+        sms: Sequence[StreamingMultiprocessor],
+        memory: GpuMemoryManager,
+        runtime: UvmRuntime,
+    ) -> None:
+        self.config = config
+        self.engine = engine
+        self.sms = list(sms)
+        self.memory = memory
+        self.runtime = runtime
+
+        self.triggered = False
+        self.stopped = False
+        self.throttling = False
+        self.epochs = 0
+        self.throttle_epochs = 0
+        self._last_detection_rate: float | None = None
+        self._last_throttled_rate: float | None = None
+        self._faults_at_epoch_start = 0
+        self._proactive_evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def throttled_sms(self) -> list[StreamingMultiprocessor]:
+        n = int(len(self.sms) * self.config.throttle_fraction)
+        return self.sms[:n]
+
+    def on_batch_end(self, record: BatchRecord) -> None:
+        """Runtime hook: arms MT on the first eviction; drives PE."""
+        if not self.config.enabled:
+            return
+        if record.evicted_pages and not self.triggered:
+            self.triggered = True
+            self._set_throttle(True)  # static initial throttle
+            self._faults_at_epoch_start = self.runtime.faults_raised
+            self.engine.schedule(self.config.epoch_cycles, self._epoch_tick)
+        if self.config.proactive_eviction:
+            self._proactive_evict()
+
+    # ------------------------------------------------------------------
+    # Memory-aware throttling epochs
+    # ------------------------------------------------------------------
+    def _fault_rate_this_epoch(self) -> float:
+        delta = self.runtime.faults_raised - self._faults_at_epoch_start
+        return delta / self.config.epoch_cycles
+
+    def stop(self) -> None:
+        """Halt the epoch ticks (simulation finished)."""
+        self.stopped = True
+        self._set_throttle(False)
+
+    def _epoch_tick(self) -> None:
+        if self.stopped:
+            return
+        self.epochs += 1
+        rate = self._fault_rate_this_epoch()
+        if self.throttling:
+            self._last_throttled_rate = rate
+            self.throttle_epochs += 1
+            # Execution epoch over: run a detection epoch with all SMs.
+            self._set_throttle(False)
+        else:
+            self._last_detection_rate = rate
+            # Throttle again only if full-width execution thrashes harder
+            # than the throttled epochs did.
+            if (
+                self._last_throttled_rate is None
+                or rate > self._last_throttled_rate
+            ):
+                self._set_throttle(True)
+        self._faults_at_epoch_start = self.runtime.faults_raised
+        self.engine.schedule(self.config.epoch_cycles, self._epoch_tick)
+
+    def _set_throttle(self, throttle: bool) -> None:
+        self.throttling = throttle
+        for sm in self.throttled_sms:
+            sm.set_throttled(throttle)
+
+    # ------------------------------------------------------------------
+    # Proactive eviction (disabled by default for irregular workloads)
+    # ------------------------------------------------------------------
+    def _proactive_evict(self) -> None:
+        """Keep a headroom of free frames by evicting at batch boundaries."""
+        memory = self.memory
+        if memory.unlimited:
+            return
+        while (
+            memory.free_frames < self.config.proactive_free_frames
+            and memory.resident_pages > 0
+            and memory.has_victim()
+        ):
+            victim = memory.pick_victim()
+            frame = self.runtime.page_table.unmap(victim)
+            memory.evict(victim, self.engine.now)
+            # PE overlaps the D2H transfer with idle link time; the frame
+            # frees when the transfer completes.
+            _, finish = self.runtime.pcie.evict_page(self.engine.now)
+            self.runtime.on_evict(victim)
+            self.engine.schedule_at(
+                finish, lambda f=frame: memory.release_frame(f)
+            )
+            self._proactive_evictions += 1

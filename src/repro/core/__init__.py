@@ -1,0 +1,22 @@
+"""The paper's primary contribution: batch-aware UVM management.
+
+* :mod:`repro.core.batching` — batch records and aggregate batch metrics.
+* :mod:`repro.core.lifetime` — the page-lifetime monitor driving adaptive
+  thread oversubscription.
+* :mod:`repro.core.oversubscription` — the Thread Oversubscription
+  controller (Section 4.1).
+
+Unobtrusive Eviction (Section 4.2) lives in :mod:`repro.uvm.eviction`
+because it is a drop-in replacement for the runtime's eviction scheduling.
+"""
+
+from repro.core.batching import BatchRecord, BatchStats
+from repro.core.lifetime import PageLifetimeMonitor
+from repro.core.oversubscription import ThreadOversubscriptionController
+
+__all__ = [
+    "BatchRecord",
+    "BatchStats",
+    "PageLifetimeMonitor",
+    "ThreadOversubscriptionController",
+]

@@ -1,0 +1,76 @@
+"""Thread Oversubscription controller (Section 4.1, Figure 6).
+
+The controller owns the *policy* side of TO:
+
+* how many extra (inactive) thread blocks each SM may host beyond its
+  scheduling limit — starts at one, grows incrementally while premature
+  evictions stay low, shrinks (and context switching is disallowed) when
+  the page-lifetime monitor reports a drop;
+* whether a fully-stalled active block may be context-switched right now.
+
+The *mechanism* side — block state tables, context save/restore timing,
+virtual warp identifiers — lives in :mod:`repro.gpu.sm` and
+:mod:`repro.gpu.context`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.gpu.config import ToConfig
+
+
+class ThreadOversubscriptionController:
+    """Adaptive degree-of-oversubscription controller."""
+
+    def __init__(self, config: ToConfig) -> None:
+        if config.initial_extra_blocks < 0:
+            raise ConfigError("initial_extra_blocks must be non-negative")
+        if config.max_extra_blocks < config.initial_extra_blocks:
+            raise ConfigError("max_extra_blocks must be >= initial_extra_blocks")
+        self.config = config
+        self.extra_blocks_allowed = (
+            config.initial_extra_blocks if config.enabled else 0
+        )
+        self._switching_allowed = config.enabled
+        self._healthy_streak = 0
+        self.increments = 0
+        self.decrements = 0
+
+        #: Called when ``extra_blocks_allowed`` grows, so the dispatcher
+        #: can hand each SM another inactive block.
+        self.on_grow = lambda: None
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def context_switch_allowed(self) -> bool:
+        """May a fully-stalled active block be swapped right now?"""
+        return self.enabled and self._switching_allowed
+
+    # ------------------------------------------------------------------
+    # Lifetime-monitor feedback (wired to PageLifetimeMonitor.on_sample)
+    # ------------------------------------------------------------------
+    def on_lifetime_sample(self, dropped: bool) -> None:
+        if not self.enabled:
+            return
+        if dropped:
+            # Premature evictions rising: stop switching and shrink the
+            # number of concurrently runnable thread blocks.
+            self._switching_allowed = False
+            self._healthy_streak = 0
+            if self.extra_blocks_allowed > 0:
+                self.extra_blocks_allowed -= 1
+                self.decrements += 1
+            return
+        # Hysteresis: re-arming switching and growing the degree both need
+        # a sustained healthy run, so the controller doesn't flip-flop
+        # into thrash every other window.
+        self._healthy_streak += 1
+        if self._healthy_streak >= 2:
+            self._switching_allowed = True
+            if self.extra_blocks_allowed < self.config.max_extra_blocks:
+                self.extra_blocks_allowed += 1
+                self.increments += 1
+                self.on_grow()

@@ -1,0 +1,21 @@
+"""Exception types used across the reproduction package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class LayoutError(ReproError):
+    """An address-space layout request could not be satisfied."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or trace request is invalid."""

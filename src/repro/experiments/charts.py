@@ -1,0 +1,75 @@
+"""ASCII chart rendering for experiment results.
+
+``python -m repro.experiments fig11 --chart`` draws the figures as
+terminal bar charts — a grouped bar per (row, column) — so the shapes the
+paper plots are visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+
+#: Glyph per series (column), cycled.
+SERIES_GLYPHS = "#*+o@%"
+
+
+def horizontal_bars(
+    result: ExperimentResult,
+    columns: list[str] | None = None,
+    width: int = 50,
+    max_rows: int = 24,
+) -> str:
+    """Grouped horizontal bar chart of selected numeric columns."""
+    columns = columns or result.columns
+    rows = result.rows[:max_rows]
+    values = [
+        values.get(col)
+        for _, values in rows
+        for col in columns
+        if values.get(col) is not None
+    ]
+    if not values:
+        return "(nothing to chart)"
+    peak = max(abs(v) for v in values) or 1.0
+
+    label_width = max(
+        [len(label) for label, _ in rows]
+        + [len(col) for col in columns]
+    )
+    lines = [result.title]
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {col}"
+        for i, col in enumerate(columns)
+    )
+    lines.append(f"legend: {legend}")
+    for label, row_values in rows:
+        for i, col in enumerate(columns):
+            value = row_values.get(col)
+            if value is None:
+                continue
+            bar = SERIES_GLYPHS[i % len(SERIES_GLYPHS)] * max(
+                1, round(abs(value) / peak * width)
+            )
+            name = label if i == 0 else ""
+            lines.append(f"{name:<{label_width}} |{bar} {value:.3f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float], width: int = 40) -> str:
+    """One-line trend rendering using block glyphs."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    # Re-sample to the target width.
+    n_out = min(width, len(values)) or 1
+    sampled = [
+        values[min(len(values) - 1, i * len(values) // n_out)]
+        for i in range(n_out)
+    ]
+    return "".join(
+        glyphs[min(len(glyphs) - 1, int((v - lo) / span * (len(glyphs) - 1)))]
+        for v in sampled
+    )

@@ -1,0 +1,153 @@
+"""Shared experiment plumbing: runs, caching, result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.simulator import GpuUvmSimulator, SimulationResult
+from repro.systems import SystemPreset
+from repro.workloads.registry import SCALES, build_workload
+from repro.workloads.trace import Workload
+
+#: Event-cap safety net: experiments should never grind unbounded.
+MAX_EVENTS = 60_000_000
+
+#: The paper's 11 irregular workloads, Figure 11 bar order.
+PAPER_WORKLOADS = (
+    "BC",
+    "BFS-DWC",
+    "BFS-TA",
+    "BFS-TF",
+    "BFS-TTC",
+    "BFS-TWC",
+    "GC-DTC",
+    "GC-TTC",
+    "KCORE",
+    "SSSP-TWC",
+    "PR",
+)
+
+#: Figure 1's regular workloads.
+FIG1_REGULAR = ("CFD", "DWT", "GM", "H3D", "HS", "LUD")
+
+
+@dataclass
+class ExperimentResult:
+    """A labelled table: rows of (label, {column: value})."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[tuple[str, dict[str, float]]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, label: str, **values: float) -> None:
+        self.rows.append((label, values))
+
+    def value(self, label: str, column: str) -> float:
+        for row_label, values in self.rows:
+            if row_label == label:
+                return values[column]
+        raise KeyError(f"no row {label!r} in {self.experiment}")
+
+    def column(self, column: str) -> list[float]:
+        return [values[column] for _, values in self.rows if column in values]
+
+    def geomean(self, column: str) -> float:
+        vals = [v for v in self.column(column) if v > 0]
+        if not vals:
+            return 0.0
+        product = 1.0
+        for v in vals:
+            product *= v
+        return product ** (1.0 / len(vals))
+
+    def mean(self, column: str) -> float:
+        vals = self.column(column)
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        label_width = max(
+            [len("workload")] + [len(label) for label, _ in self.rows]
+        )
+        header = "  ".join(
+            [f"{'workload':<{label_width}}"]
+            + [f"{col:>12}" for col in self.columns]
+        )
+        lines = [self.title, "=" * len(header), header, "-" * len(header)]
+        for label, values in self.rows:
+            cells = []
+            for col in self.columns:
+                v = values.get(col)
+                if v is None:
+                    cells.append(f"{'-':>12}")
+                elif isinstance(v, float) and not v.is_integer():
+                    cells.append(f"{v:>12.3f}")
+                else:
+                    cells.append(f"{int(v):>12}")
+            lines.append("  ".join([f"{label:<{label_width}}"] + cells))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def half_ratio(scale: str) -> float:
+    """The scale's calibrated '50% oversubscription' memory ratio."""
+    return SCALES[scale].half_memory_ratio
+
+
+#: Completed runs, keyed by the full run parameters.  Simulations are
+#: deterministic, so sharing results across experiment modules (the CLI's
+#: ``all`` target, the benchmark session) is safe and saves minutes.
+_RUN_CACHE: dict[tuple, SimulationResult] = {}
+
+
+def clear_run_cache() -> None:
+    _RUN_CACHE.clear()
+
+
+def run_system(
+    preset: SystemPreset,
+    workload: Workload | str,
+    scale: str = "tiny",
+    ratio: float | None = None,
+    fault_handling_cycles: int | None = None,
+    max_events: int = MAX_EVENTS,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> SimulationResult:
+    """Build (or reuse) a workload and run it under ``preset``."""
+    if isinstance(workload, str):
+        workload = build_workload(workload, scale=scale, seed=seed)
+    if ratio is None:
+        ratio = half_ratio(scale)
+    key = (preset.name, workload.name, scale, ratio, fault_handling_cycles, seed)
+    if use_cache and key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    config = preset.configure(
+        workload, ratio=ratio, fault_handling_cycles=fault_handling_cycles
+    )
+    result = GpuUvmSimulator(workload, config).run(max_events=max_events)
+    if use_cache:
+        _RUN_CACHE[key] = result
+    return result
+
+
+def run_matrix(
+    presets: Sequence[SystemPreset],
+    workloads: Sequence[str],
+    scale: str,
+    ratio: float | None = None,
+    **kwargs,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Run every (workload, preset) pair; keys are (workload, preset.name)."""
+    results: dict[tuple[str, str], SimulationResult] = {}
+    for name in workloads:
+        workload = build_workload(name, scale=scale)
+        for preset in presets:
+            results[(name, preset.name)] = run_system(
+                preset, workload, scale=scale, ratio=ratio, **kwargs
+            )
+    return results

@@ -1,0 +1,58 @@
+"""Figure 5 — context-switching cost in *traditional* GPUs.
+
+When every page is resident (no demand paging), provisioning one extra
+thread block per SM — which requires full context switching — only adds
+overhead: the paper measures an average 49% slowdown.  This motivates why
+thread oversubscription only makes sense *under* demand paging, where the
+switch cost hides inside multi-hundred-microsecond batch stalls.
+
+We run each workload with unlimited memory, once normally and once with
+``forced_oversubscription`` (an extra block per SM, switched on full
+memory stalls), and report the relative performance.
+"""
+
+from __future__ import annotations
+
+from repro import systems
+from repro.experiments.common import (
+    PAPER_WORKLOADS,
+    ExperimentResult,
+    run_system,
+)
+from repro.workloads.registry import build_workload
+
+EXPECTATION = (
+    "Context-switched extra blocks degrade traditional (fully resident) "
+    "GPU performance on every workload — the paper reports 49% on average."
+)
+
+
+def run(scale: str = "tiny", workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig5",
+        title=(
+            "Figure 5: relative performance with a context-switched extra "
+            "block (traditional GPU, unlimited memory)"
+        ),
+        columns=["relative_perf", "context_switches"],
+        notes=EXPECTATION,
+    )
+    for name in workloads:
+        workload = build_workload(name, scale=scale)
+        plain = run_system(systems.UNLIMITED, workload, scale=scale, ratio=1.0)
+        forced = run_system(
+            systems.FORCED_OVERSUBSCRIPTION, workload, scale=scale, ratio=1.0
+        )
+        result.add_row(
+            name,
+            relative_perf=plain.exec_cycles / forced.exec_cycles
+            if forced.exec_cycles
+            else 0.0,
+            context_switches=forced.context_switches,
+        )
+    result.add_row(
+        "AVERAGE",
+        relative_perf=result.mean("relative_perf"),
+        context_switches=result.mean("context_switches"),
+    )
+    return result

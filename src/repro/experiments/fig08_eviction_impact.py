@@ -1,0 +1,56 @@
+"""Figure 8 — the cost of oversubscription and of eviction latency.
+
+Two bars per workload, both normalised to a GPU with unlimited memory:
+
+* **BASELINE** — 50%-oversubscribed memory (calibrated ratio, see
+  DESIGN.md §5) with the usual serialized evictions.  Paper: average
+  performance drops to ~0.54 of unlimited.
+* **IDEAL EVICTION** — the same but evictions take zero time.  Paper:
+  removing eviction latency buys back ~16%.
+"""
+
+from __future__ import annotations
+
+from repro import systems
+from repro.experiments.common import (
+    PAPER_WORKLOADS,
+    ExperimentResult,
+    run_system,
+)
+from repro.workloads.registry import build_workload
+
+EXPECTATION = (
+    "Oversubscription costs every workload a large fraction of its "
+    "performance; instant (ideal) eviction recovers a consistent chunk "
+    "(~16% in the paper) but not all of it."
+)
+
+
+def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig8",
+        title=(
+            "Figure 8: performance under oversubscription normalised to "
+            "unlimited memory"
+        ),
+        columns=["baseline", "ideal_eviction"],
+        notes=EXPECTATION,
+    )
+    for name in workloads:
+        workload = build_workload(name, scale=scale)
+        unlimited = run_system(systems.UNLIMITED, workload, scale=scale, ratio=1.0)
+        baseline = run_system(systems.BASELINE, workload, scale=scale, ratio=ratio)
+        ideal = run_system(
+            systems.IDEAL_EVICTION, workload, scale=scale, ratio=ratio
+        )
+        result.add_row(
+            name,
+            baseline=unlimited.exec_cycles / baseline.exec_cycles,
+            ideal_eviction=unlimited.exec_cycles / ideal.exec_cycles,
+        )
+    result.add_row(
+        "AVERAGE",
+        baseline=result.mean("baseline"),
+        ideal_eviction=result.mean("ideal_eviction"),
+    )
+    return result

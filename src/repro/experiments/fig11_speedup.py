@@ -1,0 +1,61 @@
+"""Figure 11 — the headline result.
+
+Speedup of every system over the BASELINE (state-of-the-art tree
+prefetching, serialized eviction) at 50%-equivalent memory
+oversubscription.  Paper averages: PCIe compression ~1.1x, TO 1.22x, UE
+~1.61x (TO's 22% plus UE's additional 61% compose to 2x), TO+UE 2.0x,
+ETC 1.12x (TO+UE outperforms ETC by 79%).
+"""
+
+from __future__ import annotations
+
+from repro import systems
+from repro.experiments.common import (
+    PAPER_WORKLOADS,
+    ExperimentResult,
+    run_system,
+)
+from repro.workloads.registry import build_workload
+
+EXPECTATION = (
+    "TO+UE is the fastest system on average (~2x over the prefetching "
+    "baseline in the paper) and clearly outperforms ETC; UE alone beats "
+    "TO alone; PCIe compression helps only modestly."
+)
+
+SYSTEM_ORDER = (
+    systems.BASELINE,
+    systems.BASELINE_PCIE_COMPRESSION,
+    systems.TO,
+    systems.UE,
+    systems.TO_UE,
+    systems.ETC,
+)
+
+
+def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> ExperimentResult:
+    columns = [preset.name for preset in SYSTEM_ORDER]
+    result = ExperimentResult(
+        experiment="fig11",
+        title="Figure 11: speedup over BASELINE (higher is better)",
+        columns=columns,
+        notes=EXPECTATION,
+    )
+    for name in workloads:
+        workload = build_workload(name, scale=scale)
+        runs = {
+            preset.name: run_system(preset, workload, scale=scale, ratio=ratio)
+            for preset in SYSTEM_ORDER
+        }
+        base_cycles = runs["BASELINE"].exec_cycles
+        result.add_row(
+            name,
+            **{
+                sys_name: base_cycles / run.exec_cycles
+                for sys_name, run in runs.items()
+            },
+        )
+    result.add_row(
+        "AVERAGE", **{column: result.mean(column) for column in columns}
+    )
+    return result

@@ -1,0 +1,49 @@
+"""Figure 12 — total number of batches, baseline vs. thread oversubscription.
+
+Thread oversubscription keeps more faults arriving while a batch is being
+processed, so the following batch absorbs them and far fewer batches are
+needed overall — the paper reports 51% fewer on average.
+"""
+
+from __future__ import annotations
+
+from repro import systems
+from repro.experiments.common import (
+    PAPER_WORKLOADS,
+    ExperimentResult,
+    run_system,
+)
+from repro.workloads.registry import build_workload
+
+EXPECTATION = (
+    "TO cuts the total number of batches substantially (paper: -51% on "
+    "average)."
+)
+
+
+def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig12",
+        title="Figure 12: total number of batches (relative, baseline = 100%)",
+        columns=["baseline", "to", "relative_pct"],
+        notes=EXPECTATION,
+    )
+    for name in workloads:
+        workload = build_workload(name, scale=scale)
+        base = run_system(systems.BASELINE, workload, scale=scale, ratio=ratio)
+        to = run_system(systems.TO, workload, scale=scale, ratio=ratio)
+        base_n = base.batch_stats.num_batches
+        to_n = to.batch_stats.num_batches
+        result.add_row(
+            name,
+            baseline=base_n,
+            to=to_n,
+            relative_pct=100.0 * to_n / base_n if base_n else 0.0,
+        )
+    result.add_row(
+        "AVERAGE",
+        baseline=result.mean("baseline"),
+        to=result.mean("to"),
+        relative_pct=result.mean("relative_pct"),
+    )
+    return result

@@ -1,0 +1,45 @@
+"""Figure 13 — average batch size, baseline vs. thread oversubscription.
+
+The flip side of Figure 12: the same pages arrive in fewer, larger
+batches.  The paper reports a 2.27x average batch-size increase.
+"""
+
+from __future__ import annotations
+
+from repro import systems
+from repro.experiments.common import (
+    PAPER_WORKLOADS,
+    ExperimentResult,
+    run_system,
+)
+from repro.workloads.registry import build_workload
+
+EXPECTATION = "TO grows the average batch size (paper: 2.27x on average)."
+
+
+def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Figure 13: average batch size (relative, baseline = 100%)",
+        columns=["baseline_pages", "to_pages", "relative_pct"],
+        notes=EXPECTATION,
+    )
+    for name in workloads:
+        workload = build_workload(name, scale=scale)
+        base = run_system(systems.BASELINE, workload, scale=scale, ratio=ratio)
+        to = run_system(systems.TO, workload, scale=scale, ratio=ratio)
+        base_pages = base.batch_stats.mean_batch_pages
+        to_pages = to.batch_stats.mean_batch_pages
+        result.add_row(
+            name,
+            baseline_pages=base_pages,
+            to_pages=to_pages,
+            relative_pct=100.0 * to_pages / base_pages if base_pages else 0.0,
+        )
+    result.add_row(
+        "AVERAGE",
+        baseline_pages=result.mean("baseline_pages"),
+        to_pages=result.mean("to_pages"),
+        relative_pct=result.mean("relative_pct"),
+    )
+    return result

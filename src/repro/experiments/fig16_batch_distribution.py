@@ -1,0 +1,74 @@
+"""Figure 16 — batch-size distribution and per-size efficiency.
+
+Two series over batch-size buckets: the fraction of batches falling in
+each bucket for BASELINE and THREAD-OVERSUBSCRIPTION, plus the
+efficiency curve (reciprocal of per-page handling time) which rises with
+batch size.  TO visibly shifts mass toward bigger batches.
+
+The paper buckets by 5 MB with 64 KB pages; scaled-down runs use a bucket
+width proportional to the page size so the bucket *count* is comparable.
+"""
+
+from __future__ import annotations
+
+from repro import systems
+from repro.experiments.common import ExperimentResult, run_system
+from repro.workloads.registry import build_workload
+
+EXPECTATION = (
+    "TO shifts the batch-size distribution toward larger batches; "
+    "efficiency (1 / per-page time) increases with batch size."
+)
+
+#: Paper bucket: 5 MB of 64 KB pages = 80 pages.
+BUCKET_PAGES = 80
+
+
+def run(scale: str = "tiny", workload: str = "BFS-TTC", ratio=None,
+        bucket_pages: int = BUCKET_PAGES) -> ExperimentResult:
+    wl = build_workload(workload, scale=scale)
+    page_size = wl.address_space.page_size
+    # Keep the bucket granularity fine enough to resolve small-scale runs.
+    bucket_pages = max(4, min(bucket_pages, max(4, wl.footprint_pages // 8)))
+    bucket_bytes = bucket_pages * page_size
+
+    base = run_system(systems.BASELINE, wl, scale=scale, ratio=ratio)
+    to = run_system(systems.TO, wl, scale=scale, ratio=ratio)
+
+    base_dist = base.batch_stats.size_distribution(bucket_bytes)
+    to_dist = to.batch_stats.size_distribution(bucket_bytes)
+    # Efficiency pooled over both systems' batches.
+    efficiency: dict[int, list[float]] = {}
+    for stats in (base.batch_stats, to.batch_stats):
+        for bucket, eff in stats.efficiency_by_size(bucket_bytes).items():
+            efficiency.setdefault(bucket, []).append(eff)
+
+    result = ExperimentResult(
+        experiment="fig16",
+        title=(
+            f"Figure 16: batch size distribution ({workload}; bucket = "
+            f"{bucket_bytes // 1024} KB)"
+        ),
+        columns=["baseline_frac", "to_frac", "efficiency"],
+        notes=EXPECTATION,
+    )
+    for bucket in sorted(set(base_dist) | set(to_dist) | set(efficiency)):
+        effs = efficiency.get(bucket)
+        result.add_row(
+            f"{bucket * bucket_bytes // 1024}KB",
+            baseline_frac=base_dist.get(bucket, 0.0),
+            to_frac=to_dist.get(bucket, 0.0),
+            efficiency=sum(effs) / len(effs) if effs else 0.0,
+        )
+    return result
+
+
+def mean_bucket(dist_column: str, result: ExperimentResult) -> float:
+    """Distribution-weighted mean bucket index (for shape assertions)."""
+    total = 0.0
+    weight = 0.0
+    for index, (_, values) in enumerate(result.rows):
+        frac = values[dist_column]
+        total += index * frac
+        weight += frac
+    return total / weight if weight else 0.0

@@ -1,0 +1,131 @@
+"""Experiment CLI: ``python -m repro.experiments [fig11] [--scale small]``.
+
+``repro-experiments all`` regenerates every table/figure and prints the
+text tables the benchmarks also assert on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig01_working_set,
+    fig03_per_page_time,
+    fig05_context_switch,
+    fig08_eviction_impact,
+    fig11_speedup,
+    fig12_num_batches,
+    fig13_batch_size,
+    fig14_batch_time,
+    fig15_premature_eviction,
+    fig16_batch_distribution,
+    fig17_oversubscription_sweep,
+    fig18_fault_latency_sweep,
+    sec65_context_cost,
+    table1_config,
+)
+
+EXPERIMENTS = {
+    "table1": table1_config,
+    "fig1": fig01_working_set,
+    "fig3": fig03_per_page_time,
+    "fig5": fig05_context_switch,
+    "fig8": fig08_eviction_impact,
+    "fig11": fig11_speedup,
+    "fig12": fig12_num_batches,
+    "fig13": fig13_batch_size,
+    "fig14": fig14_batch_time,
+    "fig15": fig15_premature_eviction,
+    "fig16": fig16_batch_distribution,
+    "fig17": fig17_oversubscription_sweep,
+    "fig18": fig18_fault_latency_sweep,
+    "sec65": sec65_context_cost,
+}
+
+#: Ablation studies (not paper figures) — runnable individually, excluded
+#: from the "all" target's default sweep only in the sense that each has
+#: its own id.
+ABLATIONS = {
+    "abl-replacement": ablations.run_replacement,
+    "abl-prefetch": ablations.run_prefetch,
+    "abl-dirty": ablations.run_dirty,
+    "abl-bandwidth": ablations.run_bandwidth,
+    "abl-to-degree": ablations.run_to_degree,
+    "abl-runahead": ablations.run_runahead,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Batch-Aware Unified "
+            "Memory Management in GPUs for Irregular Workloads' "
+            "(ASPLOS 2020)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="*",
+        default=["all"],
+        help=(
+            f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', "
+            f"or ablations ({', '.join(ABLATIONS)})"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=["tiny", "small", "medium", "paper"],
+        help="workload scale (default: tiny; 'small' matches EXPERIMENTS.md)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also draw each result as an ASCII bar chart",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write each rendered table to DIR/<experiment>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
+    unknown = [
+        n for n in names if n not in EXPERIMENTS and n not in ABLATIONS
+    ]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in names:
+        runner = (
+            EXPERIMENTS[name].run if name in EXPERIMENTS else ABLATIONS[name]
+        )
+        start = time.time()
+        result = runner(scale=args.scale)
+        elapsed = time.time() - start
+        print(result.format_table())
+        if args.output:
+            import pathlib
+
+            out_dir = pathlib.Path(args.output)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{result.experiment}.txt").write_text(
+                result.format_table() + "\n"
+            )
+        if args.chart:
+            from repro.experiments.charts import horizontal_bars
+
+            print()
+            print(horizontal_bars(result))
+        print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Table 1 — the simulated system configuration.
+
+Regenerates the paper's configuration table from the live default
+:class:`~repro.gpu.config.SimConfig`, so the table always reflects what
+the simulator actually runs at ``paper`` scale.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.gpu.config import KB, MB, SimConfig
+
+EXPECTATION = "Matches the paper's Table 1 exactly at paper scale."
+
+
+def run(scale: str = "paper") -> ExperimentResult:
+    config = SimConfig()
+    gpu, uvm = config.gpu, config.uvm
+    result = ExperimentResult(
+        experiment="table1",
+        title="Table 1: configuration of the simulated system",
+        columns=["value"],
+        notes=EXPECTATION,
+    )
+    rows: list[tuple[str, float]] = [
+        ("SMs", gpu.num_sms),
+        ("clock (GHz)", gpu.clock_ghz),
+        ("threads per SM", gpu.threads_per_sm),
+        ("register file per SM (KB)", gpu.register_file_bytes_per_sm // KB),
+        ("L1 cache (KB, per SM)", gpu.l1_cache_bytes // KB),
+        ("L1 cache associativity", gpu.l1_cache_assoc),
+        ("L1 TLB entries (per SM)", gpu.l1_tlb_entries),
+        ("L2 cache (MB, shared)", gpu.l2_cache_bytes // MB),
+        ("L2 cache associativity", gpu.l2_cache_assoc),
+        ("L2 TLB entries", gpu.l2_tlb_entries),
+        ("L2 TLB associativity", gpu.l2_tlb_assoc),
+        ("memory latency (cycles)", gpu.memory_latency_cycles),
+        ("fault buffer entries", uvm.fault_buffer_entries),
+        ("page size (KB)", uvm.page_size // KB),
+        ("fault handling time (us)", uvm.fault_handling_cycles / 1000),
+        ("PCIe bandwidth (GB/s)", uvm.pcie_h2d_gbps),
+        ("concurrent page walks", gpu.max_concurrent_walks),
+    ]
+    for label, value in rows:
+        result.add_row(label, value=float(value))
+    return result
+
+
+#: The values the paper's Table 1 states, for the verification test/bench.
+PAPER_TABLE1 = {
+    "SMs": 16,
+    "clock (GHz)": 1.0,
+    "threads per SM": 1024,
+    "register file per SM (KB)": 256,
+    "L1 cache (KB, per SM)": 16,
+    "L1 TLB entries (per SM)": 64,
+    "L2 cache (MB, shared)": 2,
+    "L2 TLB entries": 1024,
+    "L2 TLB associativity": 32,
+    "memory latency (cycles)": 200,
+    "fault buffer entries": 1024,
+    "page size (KB)": 64,
+    "fault handling time (us)": 20.0,
+    "PCIe bandwidth (GB/s)": 15.75,
+    "concurrent page walks": 64,
+}

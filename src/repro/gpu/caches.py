@@ -1,0 +1,100 @@
+"""Data-cache timing model.
+
+Set-associative LRU caches over 128-byte lines: a 16 KB 4-way private L1
+per SM and a 2 MB 16-way shared L2 (Table 1).  The model answers a single
+question per coalesced access — which level serves it — and charges the
+corresponding latency.  Contents are tracked exactly (line tags), but there
+is no MSHR/bank model at this level; DRAM contention is outside the scope
+of the paper's µs-scale effects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+from repro.gpu.config import LINE_SIZE, GpuConfig
+
+
+class Cache:
+    """Set-associative LRU cache keyed by line number."""
+
+    def __init__(self, name: str, size_bytes: int, assoc: int) -> None:
+        lines = size_bytes // LINE_SIZE
+        if lines <= 0 or assoc <= 0 or lines % assoc:
+            raise ConfigError(
+                f"invalid cache geometry for {name}: {size_bytes}B, {assoc}-way"
+            )
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = lines // assoc
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Probe-and-fill: returns True on hit; misses allocate the line."""
+        entries = self._sets[line % self.num_sets]
+        if line in entries:
+            entries.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entries) >= self.assoc:
+            entries.popitem(last=False)
+        entries[line] = None
+        return False
+
+    def invalidate_page(self, page: int, page_shift: int) -> None:
+        """Drop every line belonging to ``page`` (page was evicted)."""
+        lines_per_page = 1 << (page_shift - LINE_SIZE.bit_length() + 1)
+        first = page << (page_shift - 7)
+        for line in range(first, first + lines_per_page):
+            self._sets[line % self.num_sets].pop(line, None)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheHierarchy:
+    """Per-SM L1s over a shared L2, returning access latency per line."""
+
+    def __init__(self, gpu: GpuConfig) -> None:
+        self._gpu = gpu
+        self.l1 = [
+            Cache(f"l1d{i}", gpu.l1_cache_bytes, gpu.l1_cache_assoc)
+            for i in range(gpu.num_sms)
+        ]
+        self.l2 = Cache("l2d", gpu.l2_cache_bytes, gpu.l2_cache_assoc)
+
+    def access(self, line: int, sm_id: int) -> int:
+        """Latency (cycles) to service one line access from ``sm_id``.
+
+        L1 misses are coalesced before accessing L2 (Table 1), which the
+        single probe per unique line already models.
+        """
+        if self.l1[sm_id].access(line):
+            return self._gpu.l1_hit_cycles
+        if self.l2.access(line):
+            return self._gpu.l2_hit_cycles
+        return self._gpu.memory_latency_cycles
+
+    def access_lines(self, lines: tuple[int, ...], sm_id: int) -> int:
+        """Latency of a coalesced access touching several unique lines.
+
+        Lines are fetched in parallel by the memory system; the op completes
+        when the slowest line returns.
+        """
+        latency = 0
+        for line in lines:
+            latency = max(latency, self.access(line, sm_id))
+        return latency
+
+    def invalidate_page(self, page: int, page_shift: int) -> None:
+        for cache in self.l1:
+            cache.invalidate_page(page, page_shift)
+        self.l2.invalidate_page(page, page_shift)

@@ -1,0 +1,54 @@
+"""Thread-block context-switch cost model.
+
+Follows the Virtual Thread paper's overhead equation, cited in Section 6.5:
+
+    overhead (cycles) = context (bits) / bandwidth (bits per cycle)
+
+TO stores contexts in *global memory* (register files easily exceed the
+shared-memory capacity, footnote 5), so a switch pays a DRAM round trip on
+top of the bandwidth term, for both the save of the outgoing block and the
+restore of the incoming block.  Section 6.5 also evaluates a close-to-ideal
+variant that uses an infinite shared memory (32 banks x 32 bits per cycle),
+which we expose as :meth:`ContextCostModel.ideal_switch_cycles`.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.occupancy import KernelResources
+
+#: Shared-memory bandwidth used for the close-to-ideal estimate:
+#: 32 banks x 32 bits = 1024 bits per cycle = 128 bytes per cycle.
+IDEAL_SHARED_MEMORY_BYTES_PER_CYCLE = 128
+
+
+class ContextCostModel:
+    """Cycle cost of saving/restoring one thread block's context."""
+
+    def __init__(self, gpu: GpuConfig, cost_multiplier: float = 1.0) -> None:
+        if cost_multiplier < 0:
+            raise ValueError("cost_multiplier must be non-negative")
+        self._gpu = gpu
+        self._multiplier = cost_multiplier
+
+    def context_bytes(self, res: KernelResources) -> int:
+        return res.context_bytes()
+
+    def save_cycles(self, res: KernelResources) -> int:
+        """Cycles to write one block's context to global memory."""
+        transfer = res.context_bytes() / self._gpu.global_memory_bytes_per_cycle
+        cycles = self._gpu.memory_latency_cycles + transfer
+        return max(1, round(cycles * self._multiplier))
+
+    def restore_cycles(self, res: KernelResources) -> int:
+        """Cycles to read one block's context back from global memory."""
+        return self.save_cycles(res)
+
+    def switch_cycles(self, res: KernelResources) -> int:
+        """Full swap cost: save the outgoing block + restore the incoming."""
+        return self.save_cycles(res) + self.restore_cycles(res)
+
+    def ideal_switch_cycles(self, res: KernelResources) -> int:
+        """Close-to-ideal cost assuming infinite shared memory (Section 6.5)."""
+        per_direction = res.context_bytes() / IDEAL_SHARED_MEMORY_BYTES_PER_CYCLE
+        return max(1, round(2 * per_direction))

@@ -1,0 +1,119 @@
+"""Thread-block model.
+
+A thread block (CTA) owns a group of warps that are dispatched to one SM
+together and retire together.  Under Thread Oversubscription a block can be
+*inactive* — dispatched to the SM but not occupying scheduler resources —
+and is context-switched in when an active block fully stalls (Section 4.1,
+Figure 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.gpu.warp import Warp, WarpState
+
+
+class BlockState(enum.Enum):
+    PENDING = "pending"        # not yet dispatched to any SM
+    ACTIVE = "active"          # occupying an active slot, warps runnable
+    INACTIVE = "inactive"      # dispatched but context-switched out
+    SWITCHING = "switching"    # context save/restore in progress
+    FINISHED = "finished"
+
+
+class ThreadBlock:
+    """A thread block and its warps."""
+
+    __slots__ = (
+        "block_id",
+        "warps",
+        "state",
+        "sm",
+        "context_switches",
+        "ever_active",
+    )
+
+    def __init__(self, block_id: int, warps: Sequence[Warp]) -> None:
+        self.block_id = block_id
+        self.warps = list(warps)
+        for warp in self.warps:
+            warp.block = self
+        self.state = BlockState.PENDING
+        self.sm = None
+        self.context_switches = 0
+        self.ever_active = False
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return all(warp.finished for warp in self.warps)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.warps) * 32
+
+    def fully_stalled(self) -> bool:
+        """True when no warp can make progress (all stalled or finished).
+
+        This is the TO context-switch trigger: "Once all of the warps in an
+        active thread block are stalled due to page faults" (Section 4.1).
+        At least one warp must actually be stalled — a finished block is not
+        "stalled".
+        """
+        any_stalled = False
+        for warp in self.warps:
+            if warp.state in (WarpState.READY, WarpState.RUNNING):
+                return False
+            if warp.state is WarpState.STALLED:
+                any_stalled = True
+        return any_stalled
+
+    def fully_mem_stalled(self) -> bool:
+        """True when every unfinished warp is waiting on DRAM or faults.
+
+        The Virtual Thread / forced-oversubscription (Figure 5) switch
+        trigger: all warps descheduled due to long-latency operations.
+        """
+        any_waiting = False
+        for warp in self.warps:
+            if warp.state is WarpState.FINISHED:
+                continue
+            if warp.state is WarpState.STALLED or warp.mem_wait:
+                any_waiting = True
+                continue
+            return False
+        return any_waiting
+
+    def ready_to_run(self) -> bool:
+        """True when at least one warp could make progress if activated."""
+        return any(
+            warp.state in (WarpState.READY, WarpState.SUSPENDED)
+            for warp in self.warps
+        )
+
+    def suspend_runnable_warps(self) -> list[Warp]:
+        """Mark READY warps SUSPENDED (context switch out); return them."""
+        suspended = []
+        for warp in self.warps:
+            if warp.state is WarpState.READY:
+                warp.state = WarpState.SUSPENDED
+                suspended.append(warp)
+        return suspended
+
+    def resume_suspended_warps(self) -> list[Warp]:
+        """Mark SUSPENDED warps READY (context switch in); return them."""
+        resumed = []
+        for warp in self.warps:
+            if warp.state is WarpState.SUSPENDED:
+                warp.state = WarpState.READY
+                resumed.append(warp)
+        return resumed
+
+    def __repr__(self) -> str:
+        done = sum(1 for w in self.warps if w.finished)
+        return (
+            f"ThreadBlock(id={self.block_id}, warps={done}/{len(self.warps)} done, "
+            f"{self.state.value})"
+        )

@@ -1,0 +1,111 @@
+"""Statistics primitives shared by all simulator components."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-width-bucket histogram over non-negative samples."""
+
+    def __init__(self, name: str, bucket_width: float) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.name = name
+        self.bucket_width = bucket_width
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def record(self, sample: float) -> None:
+        if sample < 0:
+            raise ValueError("histogram samples must be non-negative")
+        bucket = int(sample // self.bucket_width)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += sample
+        self.min = sample if self.min is None else min(self.min, sample)
+        self.max = sample if self.max is None else max(self.max, sample)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def fraction_in_bucket(self, bucket: int) -> float:
+        if not self.count:
+            return 0.0
+        return self.buckets.get(bucket, 0) / self.count
+
+    def sorted_buckets(self) -> list[tuple[float, int]]:
+        """Return (bucket lower edge, count) pairs in ascending order."""
+        return [
+            (bucket * self.bucket_width, n)
+            for bucket, n in sorted(self.buckets.items())
+        ]
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (0..100) using bucket lower edges."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self.count:
+            return 0.0
+        target = math.ceil(self.count * q / 100) or 1
+        seen = 0
+        for edge, n in self.sorted_buckets():
+            seen += n
+            if seen >= target:
+                return edge
+        return self.sorted_buckets()[-1][0]
+
+
+@dataclass
+class StatsCollector:
+    """Bag of named counters/histograms with lazy creation."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    values: dict[str, float] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str, bucket_width: float = 1.0) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name, bucket_width)
+        return self.histograms[name]
+
+    def set_value(self, name: str, value: float) -> None:
+        self.values[name] = value
+
+    def snapshot(self) -> dict[str, float]:
+        """Flatten all statistics into a plain dict (counters + values)."""
+        out: dict[str, float] = {n: c.value for n, c in self.counters.items()}
+        out.update(self.values)
+        for name, hist in self.histograms.items():
+            out[f"{name}.count"] = hist.count
+            out[f"{name}.mean"] = hist.mean
+        return out

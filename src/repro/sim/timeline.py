@@ -1,0 +1,119 @@
+"""Timeline tracing: record simulator events for Figure-2-style views.
+
+A :class:`Timeline` collects typed, timestamped records from the runtime
+and simulator (batch begin/end, first migration, page arrivals, eviction
+windows, context switches, warp stalls).  It is optional — nothing is
+recorded unless a timeline is attached — and bounded, so it cannot blow
+up a long simulation.
+
+``render_batches`` draws an ASCII version of the paper's Figure 2: one
+lane per batch with the fault-handling window and the migration stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One recorded event."""
+
+    time: int
+    kind: str
+    detail: str = ""
+    value: int = 0
+
+
+class Timeline:
+    """Bounded, append-only event recorder."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events <= 0:
+            raise ValueError("max_events must be positive")
+        self.max_events = max_events
+        self.events: list[TimelineEvent] = []
+        self.dropped = 0
+
+    def record(self, time: int, kind: str, detail: str = "", value: int = 0) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TimelineEvent(time, kind, detail, value))
+
+    def of_kind(self, kind: str) -> list[TimelineEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> set[str]:
+        return {e.kind for e in self.events}
+
+    def between(self, start: int, end: int) -> list[TimelineEvent]:
+        return [e for e in self.events if start <= e.time <= end]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def render_batches(
+    timeline: Timeline,
+    max_batches: int = 8,
+    width: int = 72,
+) -> str:
+    """ASCII rendering of the first ``max_batches`` batch lanes.
+
+    ``#`` marks the GPU-runtime fault-handling window, ``=`` the migration
+    stream, ``!`` eviction starts, ``*`` page arrivals.  One lane per
+    batch, a shared time axis in cycles.
+    """
+    begins = timeline.of_kind("batch_begin")[:max_batches]
+    if not begins:
+        return "(no batches recorded)"
+    ends = {e.value: e for e in timeline.of_kind("batch_end")}
+    first_migrations = {e.value: e for e in timeline.of_kind("first_migration")}
+    t0 = begins[0].time
+    t1 = max(
+        (ends[e.value].time for e in begins if e.value in ends),
+        default=t0 + 1,
+    )
+    span = max(1, t1 - t0)
+
+    def column(time: int) -> int:
+        return min(width - 1, max(0, (time - t0) * (width - 1) // span))
+
+    lines = [
+        f"batch timeline: {t0} .. {t1} cycles "
+        f"(# fault handling, = migration, ! eviction, * arrival)"
+    ]
+    for begin in begins:
+        index = begin.value
+        end_time = ends[index].time if index in ends else t1
+        fht_end = (
+            first_migrations[index].time
+            if index in first_migrations
+            else begin.time
+        )
+        lane = [" "] * width
+        for c in range(column(begin.time), column(fht_end) + 1):
+            lane[c] = "#"
+        for c in range(column(fht_end), column(end_time) + 1):
+            if lane[c] == " ":
+                lane[c] = "="
+        for event in timeline.of_kind("evict_start"):
+            if begin.time <= event.time <= end_time:
+                lane[column(event.time)] = "!"
+        for event in timeline.of_kind("page_arrival"):
+            if begin.time <= event.time <= end_time:
+                lane[column(event.time)] = "*"
+        lines.append(f"B{index:<3d} |{''.join(lane)}|")
+    if timeline.dropped:
+        lines.append(f"({timeline.dropped} events dropped beyond the cap)")
+    return "\n".join(lines)
+
+
+def summarize(timeline: Timeline) -> dict[str, int]:
+    """Event counts per kind."""
+    counts: dict[str, int] = {}
+    for event in timeline.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts

@@ -1,0 +1,484 @@
+"""Top-level GPU UVM simulator.
+
+Wires the GPU substrate (SMs, caches, MMU), the UVM runtime (fault
+batching, migration, eviction), the paper's mechanisms (Thread
+Oversubscription, Unobtrusive Eviction), and the baselines (tree
+prefetching, PCIe compression, ETC) around one workload trace, and runs
+the kernels to completion on the discrete-event engine.
+
+Typical use::
+
+    from repro import GpuUvmSimulator, SimConfig, build_workload, systems
+
+    workload = build_workload("BFS-TTC", scale="tiny")
+    config = systems.TO_UE.configure(workload)  # 50% oversubscription
+    result = GpuUvmSimulator(workload, config).run()
+    print(result.exec_cycles, result.batch_stats.num_batches)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.etc import EtcController
+from repro.core.batching import BatchStats
+from repro.core.lifetime import PageLifetimeMonitor
+from repro.core.oversubscription import ThreadOversubscriptionController
+from repro.errors import SimulationError
+from repro.gpu.caches import CacheHierarchy
+from repro.gpu.config import SimConfig
+from repro.gpu.context import ContextCostModel
+from repro.gpu.dispatcher import Dispatcher
+from repro.gpu.occupancy import OccupancyCalculator
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.thread_block import BlockState, ThreadBlock
+from repro.gpu.warp import Warp, WarpState
+from repro.sim.engine import Engine
+from repro.uvm.compression import CapacityCompression
+from repro.uvm.eviction import make_eviction_strategy
+from repro.uvm.memory_manager import GpuMemoryManager
+from repro.uvm.prefetcher import make_prefetcher
+from repro.uvm.replacement import make_replacement_policy
+from repro.uvm.runtime import UvmRuntime
+from repro.uvm.transfer import PcieModel
+from repro.vm.mmu import GpuMmu
+from repro.vm.page_table import PageTable
+from repro.workloads.trace import Workload
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiments need from one run."""
+
+    workload: str
+    exec_cycles: int
+    batch_stats: BatchStats
+    faults_raised: int = 0
+    unique_fault_pages: int = 0
+    migrated_pages: int = 0
+    prefetched_pages: int = 0
+    evicted_pages: int = 0
+    premature_refaults: int = 0
+    premature_eviction_rate: float = 0.0
+    context_switches: int = 0
+    switch_cycles: int = 0
+    warp_stall_cycles: int = 0
+    l1_tlb_hit_rate: float = 0.0
+    l2_tlb_hit_rate: float = 0.0
+    l1_hit_rate: float = 0.0
+    l2_hit_rate: float = 0.0
+    events_processed: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Baseline execution time divided by this run's (higher = faster)."""
+        if self.exec_cycles <= 0:
+            raise SimulationError("run did not execute")
+        return baseline.exec_cycles / self.exec_cycles
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest of the run."""
+        stats = self.batch_stats
+        lines = [
+            f"{self.workload}: {self.exec_cycles:,} cycles",
+            (
+                f"  batches: {stats.num_batches} "
+                f"(avg {stats.mean_batch_pages:.1f} pages, "
+                f"{stats.mean_processing_time:,.0f} cycles each; "
+                f"fault handling {stats.mean_fault_handling_time:,.0f})"
+            ),
+            (
+                f"  pages: {self.migrated_pages:,} migrated "
+                f"({self.prefetched_pages:,} prefetched), "
+                f"{self.evicted_pages:,} evicted "
+                f"({self.premature_eviction_rate:.0%} premature)"
+            ),
+            (
+                f"  faults: {self.faults_raised:,} raised over "
+                f"{self.unique_fault_pages:,} pages; "
+                f"warp stall {self.warp_stall_cycles:,} cycles"
+            ),
+        ]
+        if self.context_switches:
+            lines.append(
+                f"  context switches: {self.context_switches:,} "
+                f"({self.switch_cycles:,} cycles)"
+            )
+        lines.append(
+            f"  hit rates: L1 TLB {self.l1_tlb_hit_rate:.0%}, "
+            f"L2 TLB {self.l2_tlb_hit_rate:.0%}, "
+            f"L1D {self.l1_hit_rate:.0%}, L2D {self.l2_hit_rate:.0%}"
+        )
+        return "\n".join(lines)
+
+
+class GpuUvmSimulator:
+    """One workload under one system configuration."""
+
+    def __init__(
+        self, workload: Workload, config: SimConfig, timeline=None
+    ) -> None:
+        self.workload = workload
+        self.config = config
+        self.timeline = timeline
+        self.engine = Engine()
+        self.page_shift = workload.address_space.page_shift
+        if workload.address_space.page_size != config.uvm.page_size:
+            raise SimulationError(
+                "workload page size does not match UVM config page size"
+            )
+
+        gpu = config.gpu
+        self.page_table = PageTable()
+        self.mmu = GpuMmu(gpu, self.page_table)
+        self.caches = CacheHierarchy(gpu)
+
+        frames = config.uvm.frames
+        self._access_penalty = 0
+        if config.etc.enabled:
+            cc = CapacityCompression(
+                config.etc.capacity_compression_ratio,
+                config.etc.compression_latency_cycles,
+            )
+            frames = cc.effective_frames(frames)
+            self._access_penalty = cc.access_penalty()
+
+        self.memory = GpuMemoryManager(
+            frames, make_replacement_policy(config.uvm.replacement_policy)
+        )
+        self.pcie = PcieModel(config.uvm)
+        valid_pages = workload.address_space.all_pages()
+        self.runtime = UvmRuntime(
+            self.engine,
+            config.uvm,
+            self.page_table,
+            self.memory,
+            self.pcie,
+            make_eviction_strategy(config.eviction),
+            make_prefetcher(config.uvm),
+            valid_pages.__contains__,
+        )
+        self.runtime.wake_warp = self._wake_warp
+        self.runtime.on_evict = self._on_evict
+        self.runtime.timeline = timeline
+
+        self.to_controller = ThreadOversubscriptionController(config.to)
+        self.lifetime_monitor = PageLifetimeMonitor(
+            self.engine,
+            self.memory,
+            config.to.monitor_period_cycles,
+            config.to.lifetime_drop_threshold,
+        )
+        self.lifetime_monitor.on_sample = self.to_controller.on_lifetime_sample
+        self.to_controller.on_grow = self._on_to_grow
+
+        self.etc: EtcController | None = None
+        if config.etc.enabled:
+            self.etc = EtcController(
+                config.etc, self.engine, [], self.memory, self.runtime
+            )
+            self.runtime.on_batch_end = self.etc.on_batch_end
+
+        self.occupancy = OccupancyCalculator(gpu)
+        self.context_cost = ContextCostModel(gpu)
+
+        self._kernel_index = 0
+        self._dispatcher: Dispatcher | None = None
+        self._sms: list[StreamingMultiprocessor] = []
+        self._done = False
+        self._completion_cycles = 0
+        self._warp_stall_cycles = 0
+        self._runahead_probes = 0
+        self._runahead_faults = 0
+        self._unique_fault_pages: set[int] = set()
+        self._context_switches = 0
+        self._switch_cycles = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, max_events: int | None = None) -> SimulationResult:
+        """Run every kernel to completion and return the results."""
+        if self._ran:
+            raise SimulationError("simulator instances are single-use")
+        self._ran = True
+        if self.config.to.enabled:
+            self.lifetime_monitor.start()
+        self.engine.schedule(0, self._start_next_kernel)
+        self.engine.run(max_events=max_events)
+        if not self._done:
+            reason = (
+                f"event cap of {max_events} reached"
+                if self.engine.pending_events
+                else "event queue drained (deadlock)"
+            )
+            raise SimulationError(
+                f"simulation incomplete at cycle {self.engine.now} ({reason}): "
+                f"kernel {self._kernel_index}/{len(self.workload.kernels)}, "
+                f"{self._dispatcher.unfinished if self._dispatcher else '?'} "
+                "blocks unfinished"
+            )
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # Kernel lifecycle
+    # ------------------------------------------------------------------
+    def _start_next_kernel(self) -> None:
+        if self._kernel_index >= len(self.workload.kernels):
+            self._finish()
+            return
+        kernel = self.workload.kernels[self._kernel_index]
+        self._kernel_index += 1
+
+        blocks: list[ThreadBlock] = []
+        for block_trace in kernel.blocks:
+            warps = []
+            for warp_id, ops in enumerate(block_trace.warp_ops):
+                warp = Warp(warp_id, ops)
+                if not ops:
+                    warp.state = WarpState.FINISHED
+                warps.append(warp)
+            if not warps or all(w.finished for w in warps):
+                continue  # nothing to execute
+            blocks.append(ThreadBlock(len(blocks), warps))
+
+        if not blocks:
+            self.engine.schedule(0, self._start_next_kernel)
+            return
+
+        active_limit = self.occupancy.blocks_per_sm(kernel.resources)
+        forced = self.config.forced_oversubscription
+        switch_allowed = (
+            (lambda: True) if forced else self.to_controller.context_switch_allowed
+        )
+        self._sms = [
+            StreamingMultiprocessor(
+                sm_id,
+                self.engine,
+                active_limit,
+                self.context_cost,
+                kernel.resources,
+                self._schedule_warp,
+                switch_allowed,
+                forced,
+            )
+            for sm_id in range(self.config.gpu.num_sms)
+        ]
+        if self.etc is not None:
+            self.etc.sms = self._sms
+            if self.etc.triggered and self.etc.throttling:
+                for sm in self.etc.throttled_sms:
+                    sm.set_throttled(True)
+
+        extra = self._extra_blocks_allowed
+        self._dispatcher = Dispatcher(
+            self._sms, blocks, extra, self._on_kernel_done
+        )
+        self._dispatcher.launch()
+
+    def _extra_blocks_allowed(self) -> int:
+        if self.config.forced_oversubscription:
+            return 1
+        return self.to_controller.extra_blocks_allowed
+
+    def _on_to_grow(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.top_up()
+
+    def _on_kernel_done(self) -> None:
+        for sm in self._sms:
+            self._context_switches += sm.context_switches
+            self._switch_cycles += sm.switch_cycles_spent
+        self.engine.schedule(0, self._start_next_kernel)
+
+    def _finish(self) -> None:
+        self._done = True
+        # Capture the completion time here: stray periodic events (monitor
+        # ticks, ETC epochs) may still drain after the last block retires
+        # and must not count as execution time.
+        self._completion_cycles = self.engine.now
+        self.lifetime_monitor.stop()
+        if self.etc is not None:
+            self.etc.stop()
+
+    # ------------------------------------------------------------------
+    # Warp execution
+    # ------------------------------------------------------------------
+    def _schedule_warp(self, warp: Warp, extra_delay: int) -> None:
+        """Schedule the warp's current op to issue after its compute time."""
+        if warp.finished:
+            return
+        warp.state = WarpState.RUNNING
+        delay = extra_delay + self._compute_cycles(warp.current_op())
+        self.engine.schedule(delay, lambda: self._execute_op(warp))
+
+    def _compute_cycles(self, op) -> int:
+        scale = self.config.time_scale
+        if scale == 1.0:
+            return op.compute_cycles
+        return max(1, round(op.compute_cycles * scale))
+
+    def _execute_op(self, warp: Warp) -> None:
+        if warp.finished:
+            return
+        block = warp.block
+        if block.state is not BlockState.ACTIVE:
+            # The block was context-switched out while this event was in
+            # flight; the warp resumes when the block is reactivated.
+            warp.state = WarpState.SUSPENDED
+            return
+        sm: StreamingMultiprocessor = block.sm
+        if sm.throttled:
+            sm.park(warp)
+            return
+        if sm.switch_busy_until > self.engine.now:
+            # The register file is busy with a context save/restore; the
+            # SM cannot issue until it completes.
+            self.engine.schedule_at(
+                sm.switch_busy_until, lambda: self._execute_op(warp)
+            )
+            return
+
+        warp.mem_wait = False
+        op = warp.current_op()
+        now = self.engine.now
+        pages = op.pages(self.page_shift)
+
+        latency = 0
+        missing = []
+        for page in pages:
+            result = self.mmu.translate(page, sm.sm_id, now)
+            latency = max(latency, result.latency)
+            if not result.resident:
+                missing.append(page)
+
+        if missing:
+            warp.stall_on(missing, now, 0)
+            for page in missing:
+                self._unique_fault_pages.add(page)
+                self.runtime.raise_fault(page, warp)
+            if self.config.runahead.enabled:
+                self._runahead_probe(warp)
+            sm.on_warp_stalled(warp)
+            return
+
+        for page in pages:
+            self.memory.on_access(page)
+        for page in op.store_pages(self.page_shift):
+            self.memory.mark_dirty(page)
+        data_latency = 0
+        if op.addresses:
+            data_latency = self.caches.access_lines(op.lines(), sm.sm_id)
+            data_latency += self._access_penalty
+        total = latency + data_latency
+
+        # Virtual Thread descheduling trigger: any access that leaves the
+        # core (L2 or DRAM) counts as a long-latency operation.
+        if total >= self.config.gpu.l2_hit_cycles:
+            warp.mem_wait = True
+            sm.on_warp_mem_wait(warp)
+
+        warp.advance()
+        if warp.finished:
+            self.engine.schedule(total, lambda: self._warp_completed(warp))
+        else:
+            warp.state = WarpState.RUNNING
+            next_delay = total + self._compute_cycles(warp.current_op())
+            self.engine.schedule(next_delay, lambda: self._execute_op(warp))
+
+    def _runahead_probe(self, warp: Warp) -> None:
+        """Speculatively translate the stalled warp's next ops (§4.1 alt).
+
+        Runahead issues translations only — no execution, no warp state
+        change — so faults for upcoming accesses land in the fault buffer
+        and ride the next batch.  The probed pages do not wake the warp
+        (``warp=None``): when the warp replays, still-missing pages fault
+        again and attach it then.
+        """
+        depth = self.config.runahead.depth
+        self._runahead_probes += 1
+        for op in warp.ops[warp.pc + 1 : warp.pc + 1 + depth]:
+            # Only independent addresses are probeable: destinations found
+            # through loaded values are opaque to speculation.
+            for page in op.independent_pages(self.page_shift):
+                if self.page_table.is_resident(page):
+                    continue
+                if self.runtime.page_has_waiters(page):
+                    continue  # already being fetched / queued
+                self._runahead_faults += 1
+                self.runtime.raise_fault(page, None)
+
+    def _warp_completed(self, warp: Warp) -> None:
+        warp.mem_wait = False
+        self._warp_stall_cycles += warp.stalled_cycles
+        block = warp.block
+        if block.finished and block.state is not BlockState.FINISHED:
+            self._dispatcher.block_finished(block)
+
+    # ------------------------------------------------------------------
+    # Runtime callbacks
+    # ------------------------------------------------------------------
+    def _wake_warp(self, warp: Warp) -> None:
+        block = warp.block
+        if block.state is BlockState.ACTIVE:
+            sm: StreamingMultiprocessor = block.sm
+            if sm.throttled:
+                sm.park(warp)
+                return
+            # Replay the faulted access: re-issue the current op.  The
+            # compute charged by _schedule_warp stands in for the fault
+            # replay overhead.
+            self._schedule_warp(warp, 0)
+            return
+        warp.state = WarpState.SUSPENDED
+        if block.state is BlockState.INACTIVE and block.sm is not None:
+            block.sm.on_block_ready(block)
+
+    def _on_evict(self, page: int) -> None:
+        self.caches.invalidate_page(page, self.page_shift)
+        self.mmu.invalidate(page)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _build_result(self) -> SimulationResult:
+        stats = self.runtime.batch_stats
+        l1_hits = sum(t.hits for t in self.mmu.l1_tlbs)
+        l1_total = l1_hits + sum(t.misses for t in self.mmu.l1_tlbs)
+        l1d_hits = sum(c.hits for c in self.caches.l1)
+        l1d_total = l1d_hits + sum(c.misses for c in self.caches.l1)
+        return SimulationResult(
+            workload=self.workload.name,
+            exec_cycles=self._completion_cycles,
+            batch_stats=stats,
+            faults_raised=self.runtime.faults_raised,
+            unique_fault_pages=len(self._unique_fault_pages),
+            migrated_pages=stats.total_migrated_pages,
+            prefetched_pages=stats.total_prefetched_pages,
+            evicted_pages=self.memory.evictions,
+            premature_refaults=self.memory.premature_refaults,
+            premature_eviction_rate=self.memory.premature_eviction_rate,
+            context_switches=self._context_switches,
+            switch_cycles=self._switch_cycles,
+            warp_stall_cycles=self._warp_stall_cycles,
+            l1_tlb_hit_rate=l1_hits / l1_total if l1_total else 0.0,
+            l2_tlb_hit_rate=self.mmu.l2_tlb.hit_rate,
+            l1_hit_rate=l1d_hits / l1d_total if l1d_total else 0.0,
+            l2_hit_rate=self.caches.l2.hit_rate,
+            events_processed=self.engine.events_processed,
+            extras={
+                "fault_buffer_peak": self.runtime.fault_buffer.peak_occupancy,
+                "fault_buffer_overflows": self.runtime.fault_buffer.overflow_faults,
+                "stale_entries": self.runtime.stale_entries_dropped,
+                "walker_walks": self.mmu.walker.walks,
+                "to_extra_allowed": self.to_controller.extra_blocks_allowed,
+                "runahead_probes": self._runahead_probes,
+                "runahead_faults": self._runahead_faults,
+            },
+        )
+
+
+def simulate(workload: Workload, config: SimConfig) -> SimulationResult:
+    """Convenience one-shot: build a simulator and run it."""
+    return GpuUvmSimulator(workload, config).run()

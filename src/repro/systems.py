@@ -1,0 +1,217 @@
+"""Named system configurations used throughout the evaluation.
+
+Figure 11's bars map to these presets:
+
+* :data:`BASELINE` — state-of-the-art tree prefetching (Zheng et al.),
+  serialized reactive eviction, no oversubscription.
+* :data:`BASELINE_PCIE_COMPRESSION` — baseline plus PCIe link compression.
+* :data:`TO` — thread oversubscription on top of the baseline.
+* :data:`UE` — unobtrusive eviction on top of the baseline.
+* :data:`TO_UE` — the paper's full proposal.
+* :data:`ETC` — the Li et al. framework (MT + CC; PE off for irregular).
+
+Supporting presets: :data:`UNLIMITED` (no capacity limit, Figure 8's
+reference), :data:`IDEAL_EVICTION` (Figure 8), :data:`NO_PREFETCH`
+(ablation), and :data:`FORCED_OVERSUBSCRIPTION` (Figure 5's traditional-GPU
+context-switching experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.gpu.config import (
+    EtcConfig,
+    RunaheadConfig,
+    SimConfig,
+    ToConfig,
+    UvmConfig,
+)
+from repro.workloads.trace import Workload
+
+
+@dataclass(frozen=True)
+class SystemPreset:
+    """A named system: a base :class:`SimConfig` plus sizing helpers."""
+
+    name: str
+    base: SimConfig
+
+    def configure(
+        self,
+        workload: Workload,
+        ratio: float = 0.5,
+        fault_handling_cycles: int | None = None,
+        seed: int = 0,
+    ) -> SimConfig:
+        """Size GPU memory to ``ratio`` x the workload footprint.
+
+        ``ratio=0.5`` reproduces the paper's default 50% memory
+        oversubscription; ``ratio>=1`` disables evictions entirely.
+
+        Scaled-down workloads shrink the page size and the GPU width (see
+        :class:`repro.workloads.registry.Scale`).  One page transfer then
+        takes ``page_size / 64 KB`` as long, so *every* latency constant —
+        fault handling time, ISR dispatch, DRAM, cache/TLB hits, context
+        switches, monitor/epoch periods — is scaled by the same factor,
+        keeping every ratio the paper's dynamics hinge on (fault-handling
+        vs. transfer time, fault-generation cadence vs. batch window,
+        switch cost vs. batch time) identical to the full-scale system.
+        ``fault_handling_cycles`` is always given in paper units (e.g.
+        Figure 18's 20 000-50 000 cycles) regardless of scale.
+        """
+        config = self.base
+        page_size = workload.address_space.page_size
+        scale = page_size / 65536
+
+        def cycles(value: float, floor: int = 1) -> int:
+            return max(floor, round(value * scale))
+
+        fht = (
+            fault_handling_cycles
+            if fault_handling_cycles is not None
+            else config.uvm.fault_handling_cycles
+        )
+        uvm = replace(
+            config.uvm,
+            page_size=page_size,
+            fault_handling_cycles=cycles(fht, floor=50),
+            fault_handling_per_page_cycles=cycles(
+                config.uvm.fault_handling_per_page_cycles, floor=0
+            ),
+            interrupt_latency_cycles=cycles(
+                config.uvm.interrupt_latency_cycles, floor=20
+            ),
+        )
+        gpu = replace(
+            config.gpu,
+            memory_latency_cycles=cycles(config.gpu.memory_latency_cycles),
+            l1_hit_cycles=cycles(config.gpu.l1_hit_cycles),
+            l2_hit_cycles=cycles(config.gpu.l2_hit_cycles),
+            l1_tlb_hit_cycles=cycles(config.gpu.l1_tlb_hit_cycles),
+            l2_tlb_hit_cycles=cycles(config.gpu.l2_tlb_hit_cycles),
+            # Faster effective bandwidth shrinks context save/restore time
+            # by the same factor as everything else.
+            global_memory_bytes_per_cycle=max(
+                1, round(config.gpu.global_memory_bytes_per_cycle / scale)
+            ),
+        )
+        if workload.num_sms_hint is not None:
+            gpu = replace(gpu, num_sms=workload.num_sms_hint)
+        to = replace(
+            config.to,
+            monitor_period_cycles=cycles(config.to.monitor_period_cycles, floor=500),
+        )
+        etc = replace(
+            config.etc,
+            epoch_cycles=cycles(config.etc.epoch_cycles, floor=500),
+        )
+        config = replace(
+            config, uvm=uvm, gpu=gpu, to=to, etc=etc, seed=seed, time_scale=scale
+        )
+        if self.base.uvm.gpu_memory_bytes is None and ratio >= 1.0:
+            return config.with_memory_bytes(None)
+        return config.with_oversubscription(workload.footprint_bytes, ratio)
+
+
+def _base_uvm(**overrides) -> UvmConfig:
+    return UvmConfig(**overrides)
+
+
+BASELINE = SystemPreset(
+    "BASELINE",
+    SimConfig(uvm=_base_uvm(), eviction="serialized"),
+)
+
+BASELINE_PCIE_COMPRESSION = SystemPreset(
+    "BASELINE+PCIeC",
+    SimConfig(uvm=_base_uvm(pcie_compression=True), eviction="serialized"),
+)
+
+TO = SystemPreset(
+    "TO",
+    SimConfig(
+        uvm=_base_uvm(),
+        eviction="serialized",
+        to=ToConfig(enabled=True),
+    ),
+)
+
+UE = SystemPreset(
+    "UE",
+    SimConfig(uvm=_base_uvm(), eviction="unobtrusive"),
+)
+
+TO_UE = SystemPreset(
+    "TO+UE",
+    SimConfig(
+        uvm=_base_uvm(),
+        eviction="unobtrusive",
+        to=ToConfig(enabled=True),
+    ),
+)
+
+ETC = SystemPreset(
+    "ETC",
+    SimConfig(
+        uvm=_base_uvm(),
+        eviction="serialized",
+        etc=EtcConfig(enabled=True),
+    ),
+)
+
+UNLIMITED = SystemPreset(
+    "UNLIMITED",
+    SimConfig(uvm=_base_uvm(), eviction="serialized"),
+)
+
+IDEAL_EVICTION = SystemPreset(
+    "IDEAL-EVICTION",
+    SimConfig(uvm=_base_uvm(), eviction="ideal"),
+)
+
+NO_PREFETCH = SystemPreset(
+    "NO-PREFETCH",
+    SimConfig(uvm=_base_uvm(prefetcher="none"), eviction="serialized"),
+)
+
+FORCED_OVERSUBSCRIPTION = SystemPreset(
+    "FORCED-OVERSUB",
+    SimConfig(uvm=_base_uvm(), eviction="serialized", forced_oversubscription=True),
+)
+
+#: The Section 4.1 alternative to TO: stalled warps probe ahead to raise
+#: more faults per batch without extra thread blocks.
+RUNAHEAD = SystemPreset(
+    "RUNAHEAD",
+    SimConfig(
+        uvm=_base_uvm(),
+        eviction="serialized",
+        runahead=RunaheadConfig(enabled=True),
+    ),
+)
+
+#: Figure 11's bar order.
+FIGURE11_SYSTEMS = (
+    BASELINE,
+    BASELINE_PCIE_COMPRESSION,
+    TO,
+    UE,
+    TO_UE,
+    ETC,
+)
+
+ALL_SYSTEMS = FIGURE11_SYSTEMS + (
+    UNLIMITED,
+    IDEAL_EVICTION,
+    NO_PREFETCH,
+    FORCED_OVERSUBSCRIPTION,
+    RUNAHEAD,
+)
+
+
+def by_name(name: str) -> SystemPreset:
+    for preset in ALL_SYSTEMS:
+        if preset.name == name.upper():
+            return preset
+    raise KeyError(f"unknown system preset {name!r}")

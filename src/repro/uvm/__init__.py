@@ -1,0 +1,23 @@
+"""UVM runtime substrate: fault buffer, memory manager, DMA, batching."""
+
+from repro.uvm.fault_buffer import FaultBuffer, FaultEntry
+from repro.uvm.memory_manager import GpuMemoryManager
+from repro.uvm.prefetcher import NoPrefetcher, TreePrefetcher, make_prefetcher
+from repro.uvm.replacement import AccessLru, AgedLru, make_replacement_policy
+from repro.uvm.runtime import UvmRuntime
+from repro.uvm.transfer import DmaChannel, PcieModel
+
+__all__ = [
+    "FaultBuffer",
+    "FaultEntry",
+    "GpuMemoryManager",
+    "NoPrefetcher",
+    "TreePrefetcher",
+    "make_prefetcher",
+    "AccessLru",
+    "AgedLru",
+    "make_replacement_policy",
+    "UvmRuntime",
+    "DmaChannel",
+    "PcieModel",
+]

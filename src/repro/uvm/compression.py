@@ -1,0 +1,66 @@
+"""Compression models.
+
+Two distinct uses of compression appear in the evaluation:
+
+* **PCIe link compression** (Figure 11, "BASELINE with PCIe Compression"):
+  pages are compressed before crossing the link, shrinking transfer time by
+  the compression ratio.  Folded into :class:`repro.uvm.transfer.PcieModel`
+  via the per-page cycle cost; this module provides the per-page ratio
+  model for finer-grained studies.
+* **Capacity compression** (the "C" of the ETC baseline): resident pages
+  are stored compressed, multiplying the effective frame count at the cost
+  of a small (de)compression latency on every access.
+
+Ratios are deterministic pseudo-random per page (seeded hash), modelling
+content-dependent compressibility without storing page contents.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class CompressionModel:
+    """Deterministic per-page compression-ratio model."""
+
+    def __init__(
+        self, mean_ratio: float = 2.0, spread: float = 0.5, seed: int = 0
+    ) -> None:
+        if mean_ratio < 1.0:
+            raise ConfigError("mean compression ratio must be >= 1")
+        if not 0.0 <= spread < mean_ratio - 0.999:
+            spread = max(0.0, min(spread, mean_ratio - 1.0))
+        self.mean_ratio = mean_ratio
+        self.spread = spread
+        self.seed = seed
+
+    def ratio_for_page(self, page: int) -> float:
+        """Compression ratio of ``page`` in [mean - spread, mean + spread]."""
+        if self.spread == 0.0:
+            return self.mean_ratio
+        h = hash((page, self.seed)) & 0xFFFF
+        unit = (h / 0xFFFF) * 2.0 - 1.0  # [-1, 1]
+        return self.mean_ratio + unit * self.spread
+
+    def compressed_bytes(self, page: int, page_size: int) -> int:
+        return max(1, round(page_size / self.ratio_for_page(page)))
+
+
+class CapacityCompression:
+    """ETC-style capacity compression: more frames, small access penalty."""
+
+    def __init__(self, ratio: float, latency_cycles: int) -> None:
+        if ratio < 1.0:
+            raise ConfigError("capacity compression ratio must be >= 1")
+        if latency_cycles < 0:
+            raise ConfigError("compression latency must be non-negative")
+        self.ratio = ratio
+        self.latency_cycles = latency_cycles
+
+    def effective_frames(self, frames: int | None) -> int | None:
+        if frames is None:
+            return None
+        return max(1, int(frames * self.ratio))
+
+    def access_penalty(self) -> int:
+        return self.latency_cycles

@@ -1,0 +1,76 @@
+"""Hardware page-fault buffer.
+
+The GPU MMU pushes replayable fault entries into a 1024-entry buffer
+(Table 1); the runtime drains *all* buffered entries when a batch's
+processing begins (Figure 2 step 1).  Faults raised while a batch is being
+processed accumulate here and are picked up by the immediately following
+batch (Figure 2 steps 3/5).
+
+Multiple warps faulting on the same page each occupy an entry in real
+hardware; we record them all (they matter for buffer-capacity pressure) but
+the runtime deduplicates pages when it preprocesses the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One replayable fault: which page, who faulted, and when."""
+
+    page: int
+    warp: Any
+    time: int
+
+
+class FaultBuffer:
+    """Bounded FIFO of fault entries with per-page dedup assistance."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigError("fault buffer capacity must be positive")
+        self.capacity = capacity
+        self._entries: list[FaultEntry] = []
+        self._pages: set[int] = set()
+        self.total_faults = 0
+        self.overflow_faults = 0
+        self.peak_occupancy = 0
+
+    def push(self, entry: FaultEntry) -> bool:
+        """Append a fault entry; returns False when the buffer is full.
+
+        A full buffer drops the entry — the warp's access replays and
+        refaults after the buffer drains, which the simulator models by the
+        warp staying stalled until its page arrives anyway; we only track
+        the overflow for statistics.
+        """
+        self.total_faults += 1
+        if len(self._entries) >= self.capacity:
+            self.overflow_faults += 1
+            return False
+        self._entries.append(entry)
+        self._pages.add(entry.page)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return True
+
+    def drain(self) -> list[FaultEntry]:
+        """Remove and return all buffered entries in arrival order."""
+        entries = self._entries
+        self._entries = []
+        self._pages = set()
+        return entries
+
+    def contains_page(self, page: int) -> bool:
+        return page in self._pages
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries

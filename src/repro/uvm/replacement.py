@@ -1,0 +1,89 @@
+"""Page replacement policies.
+
+The NVIDIA runtime tracks all allocated user-memory root chunks in an LRU
+list (``root_chunks.va_block_used``); a chunk moves to the tail whenever
+any of its sub-chunks is *allocated* — the "aged-based LRU" of the
+literature (Section 3, footnote 4).  :class:`AgedLru` reproduces that;
+:class:`AccessLru` additionally promotes on access, modelling a
+hypothetical runtime with hardware access hints, and is used by ablation
+benches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.errors import ConfigError, SimulationError
+
+
+class ReplacementPolicy:
+    """Ordered set of resident pages with a victim-selection rule."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    # -- residency bookkeeping -----------------------------------------
+    def insert(self, page: int) -> None:
+        """Record ``page`` as (re-)allocated, moving it to the MRU tail."""
+        if page in self._order:
+            self._order.move_to_end(page)
+        else:
+            self._order[page] = None
+
+    def remove(self, page: int) -> None:
+        if page not in self._order:
+            raise SimulationError(f"page {page:#x} not tracked by policy")
+        del self._order[page]
+
+    def touch(self, page: int) -> None:
+        """Notify the policy of an access; base behaviour: ignore."""
+
+    # -- victim selection ------------------------------------------------
+    def pick_victim(self, pinned: Iterable[int] = ()) -> int:
+        """Return the page to evict, skipping pinned pages (in-flight batch).
+
+        Mirrors ``pick_and_evict_root_chunk()``: examine the head of the
+        LRU list and walk toward the tail until an evictable page is found.
+        """
+        pinned_set = set(pinned)
+        for page in self._order:
+            if page not in pinned_set:
+                return page
+        raise SimulationError("no evictable page: all resident pages are pinned")
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._order
+
+    def pages_in_order(self) -> list[int]:
+        """LRU head first."""
+        return list(self._order)
+
+
+class AgedLru(ReplacementPolicy):
+    """Allocation-ordered LRU (the driver's policy); accesses don't promote."""
+
+    name = "aged-lru"
+
+
+class AccessLru(ReplacementPolicy):
+    """True LRU: both allocation and access move the page to the tail."""
+
+    name = "access-lru"
+
+    def touch(self, page: int) -> None:
+        if page in self._order:
+            self._order.move_to_end(page)
+
+
+def make_replacement_policy(name: str) -> ReplacementPolicy:
+    policies = {"aged-lru": AgedLru, "access-lru": AccessLru}
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ConfigError(f"unknown replacement policy {name!r}") from None

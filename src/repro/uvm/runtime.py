@@ -1,0 +1,350 @@
+"""GPU runtime fault handling: the batch processing state machine.
+
+Implements the control flow of Section 2.2 / Figure 2:
+
+1. A page-fault interrupt raised while the runtime is idle starts batch
+   processing after a short top-half ISR dispatch latency.
+2. Batch begin drains *all* fault-buffer entries.  Faults raised after
+   this point wait for the next batch.
+3. Preprocessing (sorting by page address, prefetch insertion) and the
+   CPU-side page-table walks take the *GPU runtime fault handling time*
+   (a configurable constant plus an optional per-page term).
+4. Page migrations stream to the GPU; each arrival updates the GPU page
+   table and resumes the warps waiting on that page.  Eviction scheduling
+   is delegated to the configured :class:`~repro.uvm.eviction.EvictionStrategy`.
+5. When the last page lands, the runtime immediately re-checks the fault
+   buffer and, if non-empty, opens the next batch without waiting for a
+   new interrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.batching import BatchRecord, BatchStats
+from repro.errors import SimulationError
+from repro.gpu.config import UvmConfig
+from repro.sim.engine import Engine
+from repro.uvm.eviction import EvictionStrategy
+from repro.uvm.fault_buffer import FaultBuffer, FaultEntry
+from repro.uvm.memory_manager import GpuMemoryManager
+from repro.uvm.prefetcher import NoPrefetcher
+from repro.uvm.transfer import PcieModel
+from repro.vm.page_table import PageTable
+
+
+class UvmRuntime:
+    """The UVM driver: fault buffering, batching, migration, eviction."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        uvm: UvmConfig,
+        page_table: PageTable,
+        memory: GpuMemoryManager,
+        pcie: PcieModel,
+        eviction: EvictionStrategy,
+        prefetcher=None,
+        valid_page: Callable[[int], bool] = lambda page: True,
+    ) -> None:
+        self.engine = engine
+        self.uvm = uvm
+        self.page_table = page_table
+        self.memory = memory
+        self.pcie = pcie
+        self.eviction = eviction
+        self.prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
+        self.valid_page = valid_page
+
+        self.fault_buffer = FaultBuffer(uvm.fault_buffer_entries)
+        self.batch_stats = BatchStats()
+        self._waiters: dict[int, list] = {}
+        self._busy = False
+        self._interrupt_pending = False
+        self._current: BatchRecord | None = None
+        self._remaining_arrivals = 0
+        # Frames unmapped but whose eviction transfer hasn't finished yet;
+        # persists across batches (a D2H transfer may outlive its batch).
+        self._pending_frames: list[int] = []
+
+        #: Called with a warp whose last awaited page arrived.
+        self.wake_warp: Callable[..., None] = lambda warp: None
+        #: Called with each evicted page (cache/TLB invalidation hook).
+        self.on_evict: Callable[[int], None] = lambda page: None
+        #: Called when a batch completes (TO controller, ETC epochs).
+        self.on_batch_end: Callable[[BatchRecord], None] = lambda record: None
+        #: Optional :class:`repro.sim.timeline.Timeline` receiving batch
+        #: lifecycle events for Figure-2-style rendering.
+        self.timeline = None
+
+        # Lifetime counters.
+        self.faults_raised = 0
+        self.stale_entries_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Fault intake
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def page_has_waiters(self, page: int) -> bool:
+        return page in self._waiters
+
+    def raise_fault(self, page: int, warp) -> None:
+        """A warp faulted on ``page``; buffer it and wake the runtime."""
+        self.faults_raised += 1
+        new_page = page not in self._waiters
+        if new_page:
+            self._waiters[page] = []
+            self.memory.on_fault(page)
+        if warp is not None:
+            self._waiters[page].append(warp)
+        self.fault_buffer.push(FaultEntry(page, warp, self.engine.now))
+        if not self._busy and not self._interrupt_pending:
+            # Top-half ISR dispatch; the fault buffer keeps filling until
+            # the batch begins and drains it.
+            self._interrupt_pending = True
+            self.engine.schedule(self.uvm.interrupt_latency_cycles, self._begin_batch)
+
+    # ------------------------------------------------------------------
+    # Batch processing
+    # ------------------------------------------------------------------
+    def fault_handling_cycles(self, n_pages: int) -> int:
+        """GPU runtime fault handling time for a batch of ``n_pages``."""
+        return (
+            self.uvm.fault_handling_cycles
+            + self.uvm.fault_handling_per_page_cycles * n_pages
+        )
+
+    def _begin_batch(self) -> None:
+        self._interrupt_pending = False
+        if self._busy:
+            raise SimulationError("batch begin while runtime busy")
+        entries = self.fault_buffer.drain()
+        pages, n_entries = self._preprocess(entries)
+        if not pages:
+            # Every drained entry was stale (page already resident); the
+            # runtime returns to idle and the next fault raises a new
+            # interrupt.
+            return
+
+        self._busy = True
+        now = self.engine.now
+        record = BatchRecord(
+            index=self.batch_stats.num_batches,
+            begin_time=now,
+            fault_entries=n_entries,
+            demand_pages=len(pages),
+            page_size=self.uvm.page_size,
+        )
+        self._current = record
+
+        prefetched = self.prefetcher.expand(
+            pages, self.page_table.is_resident, self.valid_page
+        )
+        # Prefetching is opportunistic: it must never *force* evictions
+        # (the driver only expands within free space).  Demand pages keep
+        # priority for the available frames.
+        if not self.memory.unlimited:
+            headroom = max(0, self.memory.free_frames - len(pages))
+            prefetched = prefetched[:headroom]
+        record.prefetched_pages = len(prefetched)
+        all_pages = sorted(set(pages) | set(prefetched))
+
+        fht = self.fault_handling_cycles(len(all_pages))
+        migration_start = now + fht
+        free = self.memory.free_frames if not self.memory.unlimited else 0
+        needed = (
+            0
+            if self.memory.unlimited
+            else max(0, len(all_pages) - free)
+        )
+        victims, eviction_durations = self._plan_evictions(needed, all_pages)
+        plan = self.eviction.schedule(
+            n_pages=len(all_pages),
+            free_frames=free,
+            capacity=self.memory.capacity,
+            batch_start=now,
+            migration_start=migration_start,
+            pcie=self.pcie,
+            migration_durations=[self.pcie.h2d_duration(p) for p in all_pages],
+            eviction_durations=eviction_durations,
+        )
+        record.evicted_pages = len(plan.evictions)
+
+        # Schedule arrivals first so that, at equal timestamps, an arrival
+        # (allocation) is processed before an eviction pick — keeping the
+        # resident count maximal for victim selection.
+        self._remaining_arrivals = len(all_pages)
+        record.first_migration_time = (
+            plan.first_migration_start
+            if plan.first_migration_start is not None
+            else migration_start
+        )
+        for page, arrival in zip(all_pages, plan.arrivals):
+            self.engine.schedule_at(
+                arrival, lambda p=page: self._page_arrived(p)
+            )
+        for i, (start, finish) in enumerate(plan.evictions):
+            victim = victims[i] if i < len(victims) else None
+            self.engine.schedule_at(
+                start, lambda v=victim: self._evict_one(v)
+            )
+            self.engine.schedule_at(finish, self._release_frame)
+
+        if self.timeline is not None:
+            self.timeline.record(now, "batch_begin", value=record.index)
+            self.timeline.record(
+                record.first_migration_time,
+                "first_migration",
+                value=record.index,
+            )
+
+    def _plan_evictions(
+        self, needed: int, batch_pages: list[int]
+    ) -> tuple[list[int | None], list[int]]:
+        """Choose victims for the batch's evictions at planning time.
+
+        Walking the LRU order up front lets the plan account for per-page
+        D2H costs — in particular, a clean victim needs no transfer when
+        ``skip_clean_eviction_transfer`` is enabled.  Under extreme
+        pressure (more evictions needed than currently resident pages) the
+        tail victims cannot be known yet; they are returned as ``None``
+        and picked at eviction time, with the conservative full-transfer
+        duration.
+        """
+        if not needed:
+            return [], []
+        exclude = set(batch_pages)
+        victims: list[int | None] = []
+        for page in self.memory.policy.pages_in_order():
+            if len(victims) >= needed:
+                break
+            if page in exclude or self.memory.is_pinned(page):
+                continue
+            victims.append(page)
+        while len(victims) < needed:
+            victims.append(None)
+
+        skip_clean = self.uvm.skip_clean_eviction_transfer
+        durations = []
+        for victim in victims:
+            if victim is None:
+                durations.append(self.pcie.d2h_cycles_per_page)
+            elif skip_clean and not self.memory.is_dirty(victim):
+                durations.append(1)  # unmap only; no transfer
+            else:
+                durations.append(self.pcie.d2h_duration(victim))
+        return victims, durations
+
+    def _preprocess(self, entries: list[FaultEntry]) -> tuple[list[int], int]:
+        """Sort + dedup fault entries; drop stale (already-resident) pages."""
+        pages: set[int] = set()
+        stale = 0
+        for entry in entries:
+            if self.page_table.is_resident(entry.page):
+                stale += 1
+                continue
+            pages.add(entry.page)
+        self.stale_entries_dropped += stale
+        return sorted(pages), len(entries)
+
+    # ------------------------------------------------------------------
+    # Migration / eviction events
+    # ------------------------------------------------------------------
+    def _evict_one(self, victim: int | None = None) -> None:
+        """Start one eviction: unmap the planned victim, invalidate.
+
+        ``victim=None`` (extreme-pressure tail evictions) falls back to
+        picking the LRU head at eviction time.  A planned victim can have
+        been evicted-and-refaulted meanwhile only if it re-entered this
+        very batch, which :meth:`_plan_evictions` excludes; the residency
+        check guards the model anyway.
+        """
+        if victim is None or not self.memory.is_resident(victim):
+            if not self.memory.has_victim():
+                # Nothing evictable: another actor (ETC's proactive
+                # eviction) already unmapped pages whose D2H transfers are
+                # still in flight — the frame this eviction was meant to
+                # free is coming from there instead.  Record a skip so the
+                # paired release event stays balanced.
+                self._pending_frames.append(None)
+                return
+            victim = self.memory.pick_victim()
+        frame = self.page_table.unmap(victim)
+        self.memory.evict(victim, self.engine.now)
+        self._pending_frames.append(frame)
+        self.on_evict(victim)
+        if self.timeline is not None:
+            self.timeline.record(
+                self.engine.now, "evict_start", detail=f"{victim:#x}"
+            )
+
+    def _release_frame(self) -> None:
+        """The eviction's D2H transfer finished; the frame becomes free."""
+        if not self._pending_frames:
+            raise SimulationError("frame release without a pending eviction")
+        frame = self._pending_frames.pop(0)
+        if frame is not None:  # None: skipped eviction (see _evict_one)
+            self.memory.release_frame(frame)
+
+    def _page_arrived(self, page: int, attempt: int = 0) -> None:
+        now = self.engine.now
+        if not self.memory.unlimited and self.memory.free_frames == 0:
+            # A cross-actor eviction (ETC proactive eviction) that this
+            # batch's plan counted on has not released its frame yet; the
+            # page sits in the staging buffer briefly and retries.  A
+            # bounded retry keeps a broken invariant loud instead of
+            # spinning forever.
+            if attempt > 1000:
+                raise SimulationError(
+                    f"page {page:#x} arrived but no frame freed after "
+                    f"{attempt} retries"
+                )
+            self.engine.schedule(
+                max(1, self.pcie.d2h_cycles_per_page // 4),
+                lambda: self._page_arrived(page, attempt + 1),
+            )
+            return
+        frame = self.memory.allocate(page, now)
+        self.page_table.map(page, frame)
+        if self.timeline is not None:
+            self.timeline.record(now, "page_arrival", detail=f"{page:#x}")
+        for warp in self._waiters.pop(page, ()):  # prefetched pages: no waiters
+            if warp.page_arrived(page, now):
+                self.wake_warp(warp)
+        self._remaining_arrivals -= 1
+        if self._remaining_arrivals == 0:
+            self._end_batch()
+
+    def _end_batch(self) -> None:
+        record = self._current
+        if record is None:
+            raise SimulationError("batch end without an open batch")
+        record.end_time = self.engine.now
+        self.batch_stats.add(record)
+        self._current = None
+        self._busy = False
+        if self.timeline is not None:
+            self.timeline.record(self.engine.now, "batch_end", value=record.index)
+        self.on_batch_end(record)
+        # Hardware fault replay: entries dropped on buffer overflow are
+        # re-raised by the replaying MMU.  Any page that still has waiters,
+        # is not resident, and has no buffered entry gets one now —
+        # otherwise its warps would sleep forever.
+        for page in self._waiters:
+            if not self.page_table.is_resident(page) and not (
+                self.fault_buffer.contains_page(page)
+            ):
+                self.fault_buffer.push(FaultEntry(page, None, self.engine.now))
+        # Figure 2 step 5: waiting page faults are handled immediately,
+        # skipping the interrupt round-trip.
+        if not self.fault_buffer.empty:
+            self._begin_batch()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def waiting_pages(self) -> frozenset[int]:
+        return frozenset(self._waiters)

@@ -1,0 +1,17 @@
+"""Virtual-memory substrate: address space, page table, TLBs, walker, MMU."""
+
+from repro.vm.address_space import AddressSpace, Segment
+from repro.vm.mmu import GpuMmu, TranslationResult
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import Tlb
+from repro.vm.walker import PageTableWalker
+
+__all__ = [
+    "AddressSpace",
+    "Segment",
+    "GpuMmu",
+    "TranslationResult",
+    "PageTable",
+    "Tlb",
+    "PageTableWalker",
+]

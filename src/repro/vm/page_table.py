@@ -1,0 +1,69 @@
+"""GPU page table: residency tracking with shootdown versioning.
+
+The virtual-to-physical mapping is stored in a multi-level page table
+(Section 2.2).  For the trace-driven model the table tracks, per virtual
+page, whether the page is resident in GPU memory and in which frame.  The
+*timing* of walking the multi-level structure lives in
+:mod:`repro.vm.walker`; this module is the authoritative state.
+
+A monotonically increasing ``version`` is bumped on every unmap so TLBs can
+implement shootdowns cheaply (entries tagged with an older version are
+stale and must re-walk).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class PageTable:
+    """Residency map for the GPU's view of the unified address space."""
+
+    def __init__(self) -> None:
+        self._frames: dict[int, int] = {}
+        # Global unmap counter (kept for statistics) and the per-page
+        # versions that drive *targeted* TLB shootdowns: only the evicted
+        # page's cached translations go stale, as with real per-page
+        # invalidation broadcasts.
+        self.version = 0
+        self._versions: dict[int, int] = {}
+        self.maps = 0
+        self.unmaps = 0
+
+    def is_resident(self, page: int) -> bool:
+        return page in self._frames
+
+    def frame_of(self, page: int) -> int:
+        try:
+            return self._frames[page]
+        except KeyError:
+            raise SimulationError(f"page {page:#x} is not resident") from None
+
+    def map(self, page: int, frame: int) -> None:
+        """Install a mapping after a migration completes."""
+        if page in self._frames:
+            raise SimulationError(f"page {page:#x} is already mapped")
+        self._frames[page] = frame
+        self.maps += 1
+
+    def unmap(self, page: int) -> int:
+        """Remove a mapping (eviction); returns the freed frame."""
+        try:
+            frame = self._frames.pop(page)
+        except KeyError:
+            raise SimulationError(f"page {page:#x} is not mapped") from None
+        self.version += 1
+        self._versions[page] = self._versions.get(page, 0) + 1
+        self.unmaps += 1
+        return frame
+
+    def version_of(self, page: int) -> int:
+        """Shootdown version of ``page`` (bumped on each of its unmaps)."""
+        return self._versions.get(page, 0)
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    def resident_set(self) -> frozenset[int]:
+        return frozenset(self._frames)

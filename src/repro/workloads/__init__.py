@@ -1,0 +1,23 @@
+"""Workloads: GraphBIG-style irregular kernels + regular analogues."""
+
+from repro.workloads.graph import CsrGraph, generate_rmat, generate_uniform
+from repro.workloads.registry import (
+    IRREGULAR_WORKLOADS,
+    REGULAR_WORKLOADS,
+    build_workload,
+    workload_names,
+)
+from repro.workloads.trace import BlockTrace, KernelTrace, Workload
+
+__all__ = [
+    "CsrGraph",
+    "generate_rmat",
+    "generate_uniform",
+    "IRREGULAR_WORKLOADS",
+    "REGULAR_WORKLOADS",
+    "build_workload",
+    "workload_names",
+    "BlockTrace",
+    "KernelTrace",
+    "Workload",
+]

@@ -1,0 +1,53 @@
+"""``python -m repro.workloads`` — print the workload catalogue."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.workloads.describe import WorkloadProfile, divergence_index, profile
+from repro.workloads.registry import SCALES, build_workload, workload_names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Catalogue of the reproduction's workloads.",
+    )
+    parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    parser.add_argument(
+        "--kind", default="all", choices=["all", "irregular", "regular"]
+    )
+    parser.add_argument(
+        "--divergence",
+        action="store_true",
+        help="also compute the (slower) memory-divergence index",
+    )
+    args = parser.parse_args(argv)
+
+    names: list[str] = []
+    if args.kind in ("all", "irregular"):
+        names += workload_names("irregular")
+    if args.kind in ("all", "regular"):
+        names += workload_names("regular")
+
+    print(f"scale={args.scale} "
+          f"(pages of {SCALES[args.scale].page_size // 1024} KB, "
+          f"{SCALES[args.scale].num_sms} SMs, "
+          f"'50%' ratio {SCALES[args.scale].half_memory_ratio})")
+    header = WorkloadProfile.header()
+    if args.divergence:
+        header += f" {'diverg':>7s}"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        workload = build_workload(name, scale=args.scale)
+        row = profile(workload).row()
+        if args.divergence:
+            row += f" {divergence_index(workload):>7.2f}"
+        print(row)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

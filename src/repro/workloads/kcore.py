@@ -1,0 +1,71 @@
+"""K-core decomposition (KCORE).
+
+Iterative peeling (Matula & Beck): every round, vertices whose remaining
+degree falls below ``k`` are removed and their neighbours' degree records
+decremented — a scatter read-modify-write into ``vprop``.  Each round is
+one topological kernel scanning all vertices' degree records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.graph import CsrGraph
+from repro.workloads.graphbig import GraphWorkloadBuilder
+from repro.workloads.trace import KernelTrace, Workload
+
+
+def _peeling_rounds(graph: CsrGraph, k: int) -> list[np.ndarray]:
+    """Host-side peeling: vertices removed per round."""
+    degrees = graph.degrees().astype(np.int64).copy()
+    alive = np.ones(graph.num_vertices, dtype=bool)
+    rounds: list[np.ndarray] = []
+    while True:
+        doomed = np.flatnonzero(alive & (degrees < k))
+        if not doomed.size:
+            break
+        rounds.append(doomed)
+        alive[doomed] = False
+        for v in doomed:
+            for u in graph.neighbors(int(v)):
+                if alive[u]:
+                    degrees[u] -= 1
+    return rounds
+
+
+def build_kcore(graph: CsrGraph, k: int | None = None, max_rounds: int = 8,
+                **kwargs) -> Workload:
+    builder = GraphWorkloadBuilder(graph, **kwargs)
+    if k is None:
+        # Peel up to the average degree: gives a handful of meaty rounds.
+        k = max(2, int(graph.num_edges / max(1, graph.num_vertices)))
+    rounds = _peeling_rounds(graph, k)[:max_rounds]
+
+    alive = np.ones(graph.num_vertices, dtype=bool)
+    kernels: list[KernelTrace] = []
+    for rnd, doomed in enumerate(rounds):
+        doomed_set = set(doomed.tolist())
+
+        def emit(ops, vertices, _doomed=doomed_set):
+            # Degree check for every lane's vertex.
+            builder.emit_status_check(ops, vertices)
+            removed = [v for v in vertices if v in _doomed]
+            if not removed:
+                return
+            builder.emit_active_properties(ops, removed, is_store=True)
+            # Decrement each live neighbour's degree record.
+            builder.emit_tc_expansion(ops, removed, touch_dst=True, dst_store=True)
+
+        kernels.append(builder.topological_kernel(f"KCORE-R{rnd}", emit))
+        alive[doomed] = False
+
+    if not kernels:
+        # Degenerate graph (nothing peels): still scan degrees once.
+        kernels.append(
+            builder.topological_kernel(
+                "KCORE-R0", lambda ops, vertices: builder.emit_status_check(
+                    ops, vertices
+                )
+            )
+        )
+    return builder.workload("KCORE", kernels)

@@ -1,0 +1,42 @@
+"""PageRank (PR) — push-style power iteration.
+
+Every iteration scans all vertices thread-centrically: read the vertex's
+rank record, then push a contribution along each outgoing edge with a
+scattered read-modify-write of the destination's accumulator.  Two
+iterations are traced by default (the memory behaviour is identical per
+iteration; more iterations only lengthen the run).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.graph import CsrGraph
+from repro.workloads.graphbig import GraphWorkloadBuilder
+from repro.workloads.trace import KernelTrace, Workload
+
+
+def build_pagerank(graph: CsrGraph, iterations: int = 2, **kwargs) -> Workload:
+    builder = GraphWorkloadBuilder(graph, **kwargs)
+    # Double-buffered rank accumulators.
+    rank_next = builder.vas.allocate("rank_next", graph.num_vertices, 8)
+
+    kernels: list[KernelTrace] = []
+    for it in range(iterations):
+
+        def emit(ops, vertices):
+            builder.emit_status_check(ops, vertices)
+
+            def accumulator_addr(_edge_index: int, dst: int) -> list[int]:
+                return [rank_next.addr_unchecked(dst)]
+
+            builder.emit_tc_expansion(
+                ops,
+                [v for v in vertices if builder.graph.degree(v) > 0],
+                touch_dst=True,
+                dst_store=True,
+                extra_dst_addrs=accumulator_addr,
+            )
+            # Normalization write of the own rank record.
+            ops.access(builder.vprop_addrs(vertices), is_store=True)
+
+        kernels.append(builder.topological_kernel(f"PR-IT{it}", emit))
+    return builder.workload("PR", kernels)

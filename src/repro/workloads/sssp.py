@@ -1,0 +1,67 @@
+"""Single-source shortest path (SSSP) — topological warp-centric (TWC).
+
+Bellman–Ford-style rounds: every round scans all vertices; vertices whose
+distance improved last round relax their outgoing edges warp-centrically,
+reading the edge weight array and doing a read-modify-write on the
+destination's distance record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.graph import CsrGraph
+from repro.workloads.graphbig import GraphWorkloadBuilder
+from repro.workloads.trace import KernelTrace, Workload
+
+
+def _sssp_rounds(graph: CsrGraph, source: int) -> list[np.ndarray]:
+    """Host-side Bellman–Ford; returns the per-round updated-vertex sets."""
+    dist = np.full(graph.num_vertices, np.iinfo(np.int64).max, dtype=np.int64)
+    dist[source] = 0
+    updated = np.array([source], dtype=np.int64)
+    rounds: list[np.ndarray] = []
+    while updated.size:
+        rounds.append(updated)
+        changed = set()
+        for v in updated:
+            start, end = graph.neighbor_slice(int(v))
+            for i in range(start, end):
+                u = int(graph.edges[i])
+                candidate = dist[v] + int(graph.weights[i])
+                if candidate < dist[u]:
+                    dist[u] = candidate
+                    changed.add(u)
+        updated = np.array(sorted(changed), dtype=np.int64)
+    return rounds
+
+
+def build_sssp_twc(graph: CsrGraph, source: int = 0, max_rounds: int = 10,
+                   **kwargs) -> Workload:
+    builder = GraphWorkloadBuilder(graph, **kwargs)
+    weights = builder.vas.allocate("weights", max(1, graph.num_edges), 8)
+    rounds = _sssp_rounds(graph, source)[:max_rounds]
+
+    def weight_addr(edge_index: int, _dst: int) -> list[int]:
+        return [weights.addr_unchecked(edge_index)]
+
+    kernels: list[KernelTrace] = []
+    for rnd, frontier in enumerate(rounds):
+        frontier_set = set(frontier.tolist())
+
+        def emit(ops, vertices, _frontier=frontier_set):
+            builder.emit_status_check(ops, vertices)
+            active = [v for v in vertices if v in _frontier]
+            if not active:
+                return
+            builder.emit_active_properties(ops, active)
+            builder.emit_wc_expansion(
+                ops,
+                active,
+                touch_dst=True,
+                dst_store=True,
+                extra_dst_addrs=weight_addr,
+            )
+
+        kernels.append(builder.topological_kernel(f"SSSP-TWC-R{rnd}", emit))
+    return builder.workload("SSSP-TWC", kernels)

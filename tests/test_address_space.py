@@ -1,0 +1,104 @@
+"""Unit tests for the unified address space layout."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.vm.address_space import AddressSpace
+
+PAGE = 4096
+
+
+def make_space():
+    return AddressSpace(PAGE, base=0x1000_0000)
+
+
+def test_rejects_bad_page_size():
+    with pytest.raises(LayoutError):
+        AddressSpace(1000)
+
+
+def test_segments_are_page_aligned():
+    vas = make_space()
+    a = vas.allocate("a", 10, 4)  # 40 bytes -> one page
+    b = vas.allocate("b", 1, 4)
+    assert a.base % PAGE == 0
+    assert b.base % PAGE == 0
+    assert b.base == a.base + PAGE
+
+
+def test_segment_size_rounded_to_pages():
+    vas = make_space()
+    seg = vas.allocate("a", PAGE // 4 + 1, 4)  # just over one page
+    assert seg.size == 2 * PAGE
+
+
+def test_duplicate_name_rejected():
+    vas = make_space()
+    vas.allocate("a", 1, 4)
+    with pytest.raises(LayoutError):
+        vas.allocate("a", 1, 4)
+
+
+def test_nonpositive_alloc_rejected():
+    vas = make_space()
+    with pytest.raises(LayoutError):
+        vas.allocate("a", 0, 4)
+
+
+def test_element_addressing():
+    vas = make_space()
+    seg = vas.allocate("a", 100, 8)
+    assert seg.addr(0) == seg.base
+    assert seg.addr(5) == seg.base + 40
+    assert seg.addr_unchecked(5) == seg.addr(5)
+
+
+def test_addr_bounds_checked():
+    vas = make_space()
+    seg = vas.allocate("a", 10, 4)
+    with pytest.raises(LayoutError):
+        seg.addr(10)
+    with pytest.raises(LayoutError):
+        seg.addr(-1)
+
+
+def test_page_range_covers_segment():
+    vas = make_space()
+    seg = vas.allocate("a", PAGE, 4)  # 4 pages exactly
+    pages = seg.page_range(vas.page_shift)
+    assert len(pages) == 4
+    assert pages[0] == seg.base >> vas.page_shift
+
+
+def test_footprint_and_total_pages():
+    vas = make_space()
+    vas.allocate("a", PAGE // 4, 4)  # 1 page
+    vas.allocate("b", PAGE // 2, 4)  # 2 pages... (PAGE/2 * 4 bytes)
+    assert vas.footprint_bytes == vas.total_pages * PAGE
+    assert vas.total_pages == 3
+
+
+def test_all_pages_disjoint_union():
+    vas = make_space()
+    a = vas.allocate("a", PAGE // 4, 4)
+    b = vas.allocate("b", PAGE // 4, 4)
+    pages = vas.all_pages()
+    assert len(pages) == 2
+    assert set(a.page_range(vas.page_shift)) | set(b.page_range(vas.page_shift)) == pages
+
+
+def test_segment_of_page():
+    vas = make_space()
+    a = vas.allocate("a", PAGE // 4, 4)
+    b = vas.allocate("b", PAGE // 4, 4)
+    assert vas.segment_of_page(a.base >> vas.page_shift) is a
+    assert vas.segment_of_page(b.base >> vas.page_shift) is b
+    assert vas.segment_of_page(0) is None
+
+
+def test_lookup_by_name():
+    vas = make_space()
+    seg = vas.allocate("edges", 4, 8)
+    assert vas["edges"] is seg
+    assert "edges" in vas
+    assert "nope" not in vas

@@ -1,0 +1,99 @@
+"""Unit tests for batch records and aggregate batch statistics."""
+
+import pytest
+
+from repro.core.batching import BatchRecord, BatchStats
+
+
+def make_record(index=0, begin=0, pages=4, prefetched=0, first=100, end=500,
+                page_size=4096):
+    return BatchRecord(
+        index=index,
+        begin_time=begin,
+        fault_entries=pages,
+        demand_pages=pages,
+        prefetched_pages=prefetched,
+        page_size=page_size,
+        first_migration_time=first,
+        end_time=end,
+    )
+
+
+class TestBatchRecord:
+    def test_fault_handling_time(self):
+        record = make_record(begin=100, first=350)
+        assert record.fault_handling_time == 250
+
+    def test_processing_time(self):
+        record = make_record(begin=100, end=900)
+        assert record.processing_time == 800
+
+    def test_batch_bytes_counts_prefetch(self):
+        record = make_record(pages=3, prefetched=2, page_size=4096)
+        assert record.migrated_pages == 5
+        assert record.batch_bytes == 5 * 4096
+
+    def test_per_page_time(self):
+        record = make_record(begin=0, end=1000, pages=4)
+        assert record.per_page_time == pytest.approx(250.0)
+
+    def test_incomplete_record(self):
+        record = BatchRecord(index=0, begin_time=0)
+        assert not record.complete
+        assert record.processing_time == 0
+        assert record.per_page_time == 0.0
+
+
+class TestBatchStats:
+    def make_stats(self):
+        stats = BatchStats()
+        stats.add(make_record(index=0, begin=0, pages=2, end=400))
+        stats.add(make_record(index=1, begin=1000, pages=6, end=1800))
+        return stats
+
+    def test_counts(self):
+        stats = self.make_stats()
+        assert stats.num_batches == 2
+        assert stats.total_migrated_pages == 8
+        assert stats.mean_batch_pages == 4.0
+
+    def test_mean_processing_time(self):
+        stats = self.make_stats()
+        assert stats.mean_processing_time == pytest.approx(600.0)
+
+    def test_mean_per_page_time_weighted_by_pages(self):
+        stats = self.make_stats()
+        # (400 + 800) / 8 pages.
+        assert stats.mean_per_page_time == pytest.approx(150.0)
+
+    def test_empty_stats(self):
+        stats = BatchStats()
+        assert stats.mean_batch_pages == 0.0
+        assert stats.mean_processing_time == 0.0
+        assert stats.mean_per_page_time == 0.0
+        assert stats.size_distribution(4096) == {}
+
+    def test_size_distribution_fractions_sum_to_one(self):
+        stats = self.make_stats()
+        dist = stats.size_distribution(bucket_bytes=4 * 4096)
+        assert sum(dist.values()) == pytest.approx(1.0)
+        # 2-page batch -> bucket 0; 6-page batch -> bucket 1.
+        assert dist[0] == pytest.approx(0.5)
+        assert dist[1] == pytest.approx(0.5)
+
+    def test_efficiency_rises_with_batch_size(self):
+        stats = BatchStats()
+        # Fixed 1000-cycle overhead plus 100 per page.
+        for index, pages in enumerate((1, 4, 16)):
+            stats.add(
+                make_record(
+                    index=index,
+                    begin=0,
+                    pages=pages,
+                    end=1000 + 100 * pages,
+                )
+            )
+        eff = stats.efficiency_by_size(bucket_bytes=4096)
+        buckets = sorted(eff)
+        values = [eff[b] for b in buckets]
+        assert values == sorted(values)

@@ -1,0 +1,79 @@
+"""Unit tests for the data-cache hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.caches import Cache, CacheHierarchy
+from repro.gpu.config import GpuConfig
+
+
+class TestCache:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            Cache("c", 1000, 4)
+
+    def test_miss_allocates(self):
+        cache = Cache("c", 1024, 2)
+        assert not cache.access(1)
+        assert cache.access(1)
+
+    def test_lru_within_set(self):
+        cache = Cache("c", 2 * 128, 2)  # 2 lines, 1 set
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)   # 1 MRU
+        cache.access(3)   # evicts 2
+        assert cache.access(1)
+        assert not cache.access(2)
+
+    def test_invalidate_page_drops_lines(self):
+        cache = Cache("c", 64 * 1024, 4)
+        page_shift = 12  # 4 KB page = 32 lines
+        first_line = 1 << (page_shift - 7)
+        cache.access(first_line)
+        cache.access(first_line + 5)
+        cache.invalidate_page(1, page_shift)
+        assert not cache.access(first_line)
+
+    def test_hit_rate(self):
+        cache = Cache("c", 1024, 2)
+        cache.access(1)
+        cache.access(1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestHierarchy:
+    @pytest.fixture
+    def hierarchy(self):
+        return CacheHierarchy(GpuConfig(num_sms=2))
+
+    def test_cold_access_pays_memory_latency(self, hierarchy):
+        gpu = GpuConfig()
+        assert hierarchy.access(1, sm_id=0) == gpu.memory_latency_cycles
+
+    def test_l1_hit_after_access(self, hierarchy):
+        gpu = GpuConfig()
+        hierarchy.access(1, 0)
+        assert hierarchy.access(1, 0) == gpu.l1_hit_cycles
+
+    def test_cross_sm_access_hits_shared_l2(self, hierarchy):
+        gpu = GpuConfig()
+        hierarchy.access(1, 0)
+        assert hierarchy.access(1, 1) == gpu.l2_hit_cycles
+
+    def test_multi_line_access_takes_max(self, hierarchy):
+        gpu = GpuConfig()
+        hierarchy.access(1, 0)
+        latency = hierarchy.access_lines((1, 99), 0)
+        assert latency == gpu.memory_latency_cycles
+
+    def test_empty_lines_cost_nothing(self, hierarchy):
+        assert hierarchy.access_lines((), 0) == 0
+
+    def test_invalidate_page_hits_all_levels(self, hierarchy):
+        gpu = GpuConfig()
+        page_shift = 12
+        line = 1 << (page_shift - 7)
+        hierarchy.access(line, 0)
+        hierarchy.invalidate_page(1, page_shift)
+        assert hierarchy.access(line, 0) == gpu.memory_latency_cycles

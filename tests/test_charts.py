@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.experiments.charts import horizontal_bars, sparkline
+from repro.experiments.common import ExperimentResult
+
+
+def make_result():
+    result = ExperimentResult("x", "Chart title", ["alpha", "beta"])
+    result.add_row("w1", alpha=1.0, beta=2.0)
+    result.add_row("w2", alpha=0.5, beta=4.0)
+    return result
+
+
+class TestHorizontalBars:
+    def test_contains_title_legend_and_labels(self):
+        text = horizontal_bars(make_result())
+        assert "Chart title" in text
+        assert "legend:" in text
+        assert "w1" in text and "w2" in text
+
+    def test_bar_lengths_scale_with_values(self):
+        text = horizontal_bars(make_result(), columns=["beta"], width=40)
+        lines = [l for l in text.splitlines() if "|" in l]
+        w1_bar = lines[0].split("|")[1].split()[0]
+        w2_bar = lines[1].split("|")[1].split()[0]
+        assert len(w2_bar) == 2 * len(w1_bar)
+
+    def test_empty_result(self):
+        empty = ExperimentResult("x", "t", ["a"])
+        assert "nothing to chart" in horizontal_bars(empty)
+
+    def test_missing_cells_skipped(self):
+        result = ExperimentResult("x", "t", ["a", "b"])
+        result.add_row("w1", a=1.0)
+        text = horizontal_bars(result)
+        assert text.count("|") == 1
+
+    def test_max_rows_respected(self):
+        result = ExperimentResult("x", "t", ["a"])
+        for i in range(30):
+            result.add_row(f"w{i}", a=1.0)
+        text = horizontal_bars(result, max_rows=5)
+        assert "w4" in text
+        assert "w5" not in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([3.0, 3.0, 3.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_uses_rising_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_width_resampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10

@@ -1,0 +1,76 @@
+"""Tests for the compression models and per-page transfer durations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import UvmConfig
+from repro.uvm.compression import CapacityCompression, CompressionModel
+from repro.uvm.transfer import PcieModel
+
+
+class TestCompressionModel:
+    def test_rejects_sub_unity_mean(self):
+        with pytest.raises(ConfigError):
+            CompressionModel(mean_ratio=0.8)
+
+    def test_deterministic_per_page(self):
+        model = CompressionModel(2.0, spread=0.5, seed=1)
+        assert model.ratio_for_page(7) == model.ratio_for_page(7)
+
+    def test_ratio_within_spread(self):
+        model = CompressionModel(2.0, spread=0.5)
+        for page in range(100):
+            assert 1.5 <= model.ratio_for_page(page) <= 2.5
+
+    def test_zero_spread_is_constant(self):
+        model = CompressionModel(1.5, spread=0.0)
+        assert model.ratio_for_page(1) == 1.5
+        assert model.ratio_for_page(99) == 1.5
+
+    def test_compressed_bytes(self):
+        model = CompressionModel(2.0, spread=0.0)
+        assert model.compressed_bytes(0, 4096) == 2048
+
+    def test_excessive_spread_clamped(self):
+        model = CompressionModel(1.2, spread=5.0)
+        for page in range(50):
+            assert model.ratio_for_page(page) >= 1.0
+
+
+class TestCapacityCompression:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CapacityCompression(0.5, 8)
+        with pytest.raises(ConfigError):
+            CapacityCompression(1.25, -1)
+
+    def test_effective_frames_floor(self):
+        assert CapacityCompression(1.1, 0).effective_frames(5) == 5
+
+
+class TestPerPageTransferDurations:
+    def test_uncompressed_durations_constant(self):
+        pcie = PcieModel(UvmConfig(page_size=4096))
+        assert pcie.h2d_duration(1) == pcie.h2d.cycles_per_page
+        assert pcie.h2d_duration(2) == pcie.h2d.cycles_per_page
+
+    def test_compressed_durations_vary_per_page(self):
+        pcie = PcieModel(UvmConfig(page_size=4096, pcie_compression=True))
+        durations = {pcie.h2d_duration(p) for p in range(64)}
+        assert len(durations) > 1
+
+    def test_compressed_always_faster_than_raw(self):
+        raw = PcieModel(UvmConfig(page_size=4096))
+        squeezed = PcieModel(UvmConfig(page_size=4096, pcie_compression=True))
+        for page in range(64):
+            assert squeezed.h2d_duration(page) < raw.h2d_duration(page)
+
+    def test_migrate_page_uses_page_duration(self):
+        pcie = PcieModel(UvmConfig(page_size=4096, pcie_compression=True))
+        start, finish = pcie.migrate_page(0, page=5)
+        assert finish - start == pcie.h2d_duration(5)
+
+    def test_evict_page_without_identity_uses_constant(self):
+        pcie = PcieModel(UvmConfig(page_size=4096))
+        start, finish = pcie.evict_page(0)
+        assert finish - start == pcie.d2h.cycles_per_page

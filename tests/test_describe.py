@@ -1,0 +1,78 @@
+"""Tests for the workload inspection utilities."""
+
+import pytest
+
+from repro.workloads.describe import (
+    WorkloadProfile,
+    divergence_index,
+    estimated_threads,
+    profile,
+)
+from repro.workloads.__main__ import main as workloads_cli
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(scope="module")
+def bfs_profile():
+    return profile(build_workload("BFS-TTC", scale="tiny"))
+
+
+@pytest.fixture(scope="module")
+def regular_profile():
+    return profile(build_workload("GM", scale="tiny"))
+
+
+class TestProfile:
+    def test_counts_match_workload(self, bfs_profile):
+        workload = build_workload("BFS-TTC", scale="tiny")
+        assert bfs_profile.footprint_pages == workload.footprint_pages
+        assert bfs_profile.kernels == len(workload.kernels)
+        assert bfs_profile.warp_ops == workload.num_ops
+        assert bfs_profile.touched_pages == len(workload.touched_pages())
+
+    def test_irregular_flag(self, bfs_profile, regular_profile):
+        assert bfs_profile.irregular
+        assert not regular_profile.irregular
+
+    def test_fractions_are_valid(self, bfs_profile):
+        assert 0.0 <= bfs_profile.store_op_fraction <= 1.0
+        assert 0.0 <= bfs_profile.shared_page_fraction <= 1.0
+
+    def test_irregular_touches_more_pages_per_op(self, bfs_profile,
+                                                 regular_profile):
+        assert bfs_profile.mean_pages_per_op > regular_profile.mean_pages_per_op
+
+    def test_row_and_header_align(self, bfs_profile):
+        assert bfs_profile.name in bfs_profile.row()
+        assert "workload" in WorkloadProfile.header()
+
+
+class TestDerivedMetrics:
+    def test_estimated_threads(self):
+        workload = build_workload("BFS-TTC", scale="tiny")
+        threads = estimated_threads(workload)
+        biggest = max(k.num_blocks for k in workload.kernels)
+        assert threads == biggest * 256
+
+    def test_divergence_irregular_exceeds_regular(self):
+        irregular = divergence_index(build_workload("PR", scale="tiny"))
+        regular = divergence_index(build_workload("GM", scale="tiny"))
+        assert irregular > 2 * regular
+
+    def test_divergence_bounded(self):
+        value = divergence_index(build_workload("KCORE", scale="tiny"))
+        assert 0.0 <= value <= 1.0
+
+
+class TestCli:
+    def test_catalogue_prints_all(self, capsys):
+        assert workloads_cli(["--scale", "tiny", "--kind", "irregular"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BFS-TTC", "PR", "KCORE"):
+            assert name in out
+
+    def test_regular_only(self, capsys):
+        assert workloads_cli(["--kind", "regular"]) == 0
+        out = capsys.readouterr().out
+        assert "GM" in out
+        assert "BFS-TTC" not in out

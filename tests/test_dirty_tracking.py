@@ -1,0 +1,135 @@
+"""Tests for dirty-page tracking and clean-eviction skipping."""
+
+import pytest
+
+from repro.gpu.config import UvmConfig
+from repro.sim.engine import Engine
+from repro.uvm.eviction import UnobtrusiveEviction
+from repro.uvm.memory_manager import GpuMemoryManager
+from repro.uvm.prefetcher import NoPrefetcher
+from repro.uvm.replacement import AgedLru
+from repro.uvm.runtime import UvmRuntime
+from repro.uvm.transfer import PcieModel
+from repro.vm.page_table import PageTable
+
+
+class TestDirtyBits:
+    def test_pages_start_clean(self):
+        mm = GpuMemoryManager(4, AgedLru())
+        mm.allocate(1, 0)
+        assert not mm.is_dirty(1)
+
+    def test_store_marks_dirty(self):
+        mm = GpuMemoryManager(4, AgedLru())
+        mm.allocate(1, 0)
+        mm.mark_dirty(1)
+        assert mm.is_dirty(1)
+
+    def test_nonresident_store_ignored(self):
+        mm = GpuMemoryManager(4, AgedLru())
+        mm.mark_dirty(9)
+        assert not mm.is_dirty(9)
+
+    def test_eviction_clears_dirty(self):
+        mm = GpuMemoryManager(4, AgedLru())
+        mm.allocate(1, 0)
+        mm.mark_dirty(1)
+        mm.evict(1, 10)
+        mm.release_frame(0)
+        mm.allocate(1, 20)
+        assert not mm.is_dirty(1)
+
+
+def make_runtime(skip_clean, frames=2):
+    engine = Engine()
+    uvm = UvmConfig(
+        page_size=4096,
+        fault_handling_cycles=1000,
+        interrupt_latency_cycles=100,
+        gpu_memory_bytes=frames * 4096,
+        prefetcher="none",
+        skip_clean_eviction_transfer=skip_clean,
+    )
+    memory = GpuMemoryManager(uvm.frames, AgedLru())
+    runtime = UvmRuntime(
+        engine, uvm, PageTable(), memory, PcieModel(uvm),
+        UnobtrusiveEviction(), NoPrefetcher(),
+    )
+    return engine, runtime
+
+
+class TestCleanEvictionSkip:
+    def _run_eviction_cycle(self, skip_clean, make_dirty):
+        engine, runtime = make_runtime(skip_clean)
+        for page in (1, 2):
+            runtime.raise_fault(page, None)
+        engine.run()
+        if make_dirty:
+            runtime.memory.mark_dirty(1)
+            runtime.memory.mark_dirty(2)
+        for page in (3, 4):
+            runtime.raise_fault(page, None)
+        engine.run()
+        record = runtime.batch_stats.records[-1]
+        return record, runtime
+
+    def test_clean_evictions_skip_transfer(self):
+        record, runtime = self._run_eviction_cycle(
+            skip_clean=True, make_dirty=False
+        )
+        # With zero-cost evictions the second batch behaves like ideal
+        # eviction: two back-to-back migrations after fault handling.
+        per_page = runtime.pcie.h2d_cycles_per_page
+        fht = runtime.fault_handling_cycles(2)
+        assert record.processing_time == fht + 2 * per_page
+
+    def test_dirty_evictions_still_transfer(self):
+        clean_record, _ = self._run_eviction_cycle(True, make_dirty=False)
+        dirty_record, _ = self._run_eviction_cycle(True, make_dirty=True)
+        assert dirty_record.processing_time >= clean_record.processing_time
+
+    def test_flag_off_ignores_cleanliness(self):
+        off_record, _ = self._run_eviction_cycle(False, make_dirty=False)
+        dirty_record, _ = self._run_eviction_cycle(True, make_dirty=True)
+        assert off_record.processing_time == dirty_record.processing_time
+
+    def test_evictions_still_happen(self):
+        record, runtime = self._run_eviction_cycle(True, make_dirty=False)
+        assert record.evicted_pages == 2
+        assert runtime.memory.evictions == 2
+
+
+class TestSimulatorDirtyIntegration:
+    def test_stores_dirty_pages_end_to_end(self):
+        from repro import GpuUvmSimulator, build_workload, systems
+
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload, ratio=1.0)
+        sim = GpuUvmSimulator(workload, config)
+        sim.run()
+        # KCORE decrements neighbour degree records: stores happened.
+        dirty = [
+            page
+            for page in sim.page_table.resident_set()
+            if sim.memory.is_dirty(page)
+        ]
+        assert dirty
+
+    def test_skip_clean_never_slower(self):
+        import dataclasses
+
+        from repro import GpuUvmSimulator, build_workload, systems
+
+        workload = build_workload("BFS-TTC", scale="tiny")
+        base_cfg = systems.UE.configure(workload)
+        skip_cfg = dataclasses.replace(
+            base_cfg,
+            uvm=dataclasses.replace(
+                base_cfg.uvm, skip_clean_eviction_transfer=True
+            ),
+        )
+        base = GpuUvmSimulator(workload, base_cfg).run()
+        skip = GpuUvmSimulator(workload, skip_cfg).run()
+        # Skipping write-backs of clean pages can only help D2H pressure;
+        # allow small second-order noise from changed interleavings.
+        assert skip.exec_cycles <= base.exec_cycles * 1.1

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_starts_at_time_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_and_run_single_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [10]
+    assert engine.now == 10
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, lambda: order.append("c"))
+    engine.schedule(10, lambda: order.append("a"))
+    engine.schedule(20, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    engine = Engine()
+    order = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(5, lambda t=tag: order.append(t))
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(42, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [42]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    engine = Engine()
+    engine.schedule(10, lambda: engine.schedule_at(5, lambda: None))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_events_can_schedule_more_events():
+    engine = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(engine.now)
+        if n:
+            engine.schedule(7, lambda: chain(n - 1))
+
+    engine.schedule(0, lambda: chain(3))
+    engine.run()
+    assert fired == [0, 7, 14, 21]
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append("early"))
+    engine.schedule(100, lambda: fired.append("late"))
+    engine.run(until=50)
+    assert fired == ["early"]
+    assert engine.now == 50
+    assert engine.pending_events == 1
+
+
+def test_run_until_includes_boundary_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(50, lambda: fired.append("edge"))
+    engine.run(until=50)
+    assert fired == ["edge"]
+
+
+def test_max_events_limits_processing():
+    engine = Engine()
+    for i in range(10):
+        engine.schedule(i, lambda: None)
+    engine.run(max_events=4)
+    assert engine.events_processed == 4
+    assert engine.pending_events == 6
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_peek_time():
+    engine = Engine()
+    assert engine.peek_time() is None
+    engine.schedule(13, lambda: None)
+    assert engine.peek_time() == 13
+
+
+def test_run_not_reentrant():
+    engine = Engine()
+    errors = []
+
+    def nested():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule(1, nested)
+    engine.run()
+    assert len(errors) == 1
+
+
+def test_zero_delay_event_fires_at_current_time():
+    engine = Engine()
+    times = []
+    engine.schedule(5, lambda: engine.schedule(0, lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [5]

@@ -1,0 +1,115 @@
+"""Unit tests for the ETC baseline controller."""
+
+from repro.baselines.etc import EtcController
+from repro.core.batching import BatchRecord
+from repro.gpu.config import EtcConfig, GpuConfig, UvmConfig
+from repro.gpu.context import ContextCostModel
+from repro.gpu.occupancy import KernelResources
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.sim.engine import Engine
+from repro.uvm.compression import CapacityCompression
+from repro.uvm.eviction import SerializedEviction
+from repro.uvm.memory_manager import GpuMemoryManager
+from repro.uvm.replacement import AgedLru
+from repro.uvm.runtime import UvmRuntime
+from repro.uvm.transfer import PcieModel
+from repro.vm.page_table import PageTable
+
+
+def make_setup(num_sms=4, frames=8, config=None):
+    engine = Engine()
+    config = config or EtcConfig(enabled=True, epoch_cycles=1000)
+    uvm = UvmConfig(page_size=4096, gpu_memory_bytes=frames * 4096,
+                    prefetcher="none", fault_handling_cycles=100,
+                    interrupt_latency_cycles=10)
+    memory = GpuMemoryManager(frames, AgedLru())
+    page_table = PageTable()
+    runtime = UvmRuntime(
+        engine, uvm, page_table, memory, PcieModel(uvm), SerializedEviction()
+    )
+    sms = [
+        StreamingMultiprocessor(
+            i, engine, 2, ContextCostModel(GpuConfig()), KernelResources(),
+            lambda warp, delay: None,
+        )
+        for i in range(num_sms)
+    ]
+    etc = EtcController(config, engine, sms, memory, runtime)
+    runtime.on_batch_end = etc.on_batch_end
+    return engine, etc, runtime, sms
+
+
+def batch_with_evictions(n=1):
+    record = BatchRecord(index=0, begin_time=0, demand_pages=1)
+    record.evicted_pages = n
+    return record
+
+
+def test_not_triggered_without_evictions():
+    _engine, etc, _runtime, sms = make_setup()
+    etc.on_batch_end(BatchRecord(index=0, begin_time=0))
+    assert not etc.triggered
+    assert not any(sm.throttled for sm in sms)
+
+
+def test_first_eviction_triggers_initial_throttle():
+    _engine, etc, _runtime, sms = make_setup(num_sms=4)
+    etc.on_batch_end(batch_with_evictions())
+    assert etc.triggered
+    assert etc.throttling
+    assert sum(sm.throttled for sm in sms) == 2  # half the SMs
+
+
+def test_epochs_alternate_detection_and_execution():
+    engine, etc, _runtime, sms = make_setup()
+    etc.on_batch_end(batch_with_evictions())
+    engine.run(until=1000)  # first epoch tick
+    # Execution epoch over: detection epoch runs all SMs.
+    assert not etc.throttling
+    engine.run(until=2000)
+    assert etc.epochs == 2
+
+
+def test_disabled_controller_never_triggers():
+    _engine, etc, _runtime, sms = make_setup(
+        config=EtcConfig(enabled=False)
+    )
+    etc.on_batch_end(batch_with_evictions())
+    assert not etc.triggered
+
+
+def test_stop_unthrottles_and_halts():
+    engine, etc, _runtime, sms = make_setup()
+    etc.on_batch_end(batch_with_evictions())
+    etc.stop()
+    assert not any(sm.throttled for sm in sms)
+    engine.run()
+    assert etc.epochs == 0 or not etc.throttling  # ticks stopped rescheduling
+
+
+def test_proactive_eviction_keeps_headroom():
+    config = EtcConfig(
+        enabled=True, proactive_eviction=True, proactive_free_frames=2,
+        epoch_cycles=1000,
+    )
+    engine, etc, runtime, _sms = make_setup(frames=4, config=config)
+    # Fill memory completely.
+    for page in range(4):
+        frame = runtime.memory.allocate(page, 0)
+        runtime.page_table.map(page, frame)
+    etc.on_batch_end(batch_with_evictions())
+    # Bounded run: the MT epoch tick chain is unbounded by design and is
+    # stopped by the simulator at workload completion.
+    engine.run(until=5000)
+    assert runtime.memory.free_frames >= 2
+    assert etc._proactive_evictions >= 2
+
+
+class TestCapacityCompression:
+    def test_effective_frames(self):
+        cc = CapacityCompression(1.25, 8)
+        assert cc.effective_frames(100) == 125
+        assert cc.effective_frames(None) is None
+
+    def test_access_penalty(self):
+        assert CapacityCompression(1.1, 16).access_penalty() == 16

@@ -1,0 +1,129 @@
+"""Unit tests for the eviction scheduling strategies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import UvmConfig
+from repro.uvm.eviction import (
+    IdealEviction,
+    SerializedEviction,
+    UnobtrusiveEviction,
+    make_eviction_strategy,
+)
+from repro.uvm.transfer import PcieModel
+
+
+def make_pcie():
+    return PcieModel(UvmConfig())
+
+
+H2D = PcieModel(UvmConfig()).h2d_cycles_per_page
+D2H = PcieModel(UvmConfig()).d2h_cycles_per_page
+
+BATCH_START = 1_000
+MIGRATION_START = BATCH_START + 20_000  # after fault handling
+
+
+def schedule(strategy, n_pages, free, capacity):
+    return strategy.schedule(
+        n_pages=n_pages,
+        free_frames=free,
+        capacity=capacity,
+        batch_start=BATCH_START,
+        migration_start=MIGRATION_START,
+        pcie=make_pcie(),
+    )
+
+
+class TestSerialized:
+    def test_no_eviction_when_frames_free(self):
+        plan = schedule(SerializedEviction(), 3, free=3, capacity=10)
+        assert plan.evictions == []
+        assert plan.arrivals == [
+            MIGRATION_START + H2D * (k + 1) for k in range(3)
+        ]
+
+    def test_unlimited_memory(self):
+        plan = schedule(SerializedEviction(), 2, free=0, capacity=None)
+        assert plan.evictions == []
+
+    def test_full_memory_serializes_evict_then_migrate(self):
+        plan = schedule(SerializedEviction(), 2, free=0, capacity=10)
+        assert len(plan.evictions) == 2
+        (ev0_start, ev0_end), (ev1_start, ev1_end) = plan.evictions
+        assert ev0_start == MIGRATION_START
+        # Migration 0 waits for eviction 0 to complete.
+        assert plan.arrivals[0] == ev0_end + H2D
+        # Eviction 1 cannot start before migration 0 finished.
+        assert ev1_start >= plan.arrivals[0]
+        assert plan.arrivals[1] == ev1_end + H2D
+
+    def test_partial_free_frames(self):
+        plan = schedule(SerializedEviction(), 4, free=2, capacity=10)
+        assert len(plan.evictions) == 2
+
+
+class TestUnobtrusive:
+    def test_preemptive_eviction_at_batch_start(self):
+        plan = schedule(UnobtrusiveEviction(), 2, free=0, capacity=10)
+        first_start, first_end = plan.evictions[0]
+        assert first_start == BATCH_START
+        # Completed inside the fault-handling window.
+        assert first_end <= MIGRATION_START
+
+    def test_first_migration_not_delayed(self):
+        plan = schedule(UnobtrusiveEviction(), 3, free=0, capacity=10)
+        assert plan.arrivals[0] == MIGRATION_START + H2D
+
+    def test_migrations_pipeline_back_to_back(self):
+        plan = schedule(UnobtrusiveEviction(), 4, free=0, capacity=10)
+        deltas = [
+            b - a for a, b in zip(plan.arrivals, plan.arrivals[1:])
+        ]
+        assert all(d == H2D for d in deltas)
+
+    def test_faster_than_serialized_under_pressure(self):
+        serialized = schedule(SerializedEviction(), 5, free=0, capacity=10)
+        unobtrusive = schedule(UnobtrusiveEviction(), 5, free=0, capacity=10)
+        assert unobtrusive.arrivals[-1] < serialized.arrivals[-1]
+
+    def test_eviction_count_matches_need(self):
+        plan = schedule(UnobtrusiveEviction(), 5, free=2, capacity=10)
+        assert len(plan.evictions) == 3
+
+    def test_no_eviction_when_memory_unlimited(self):
+        plan = schedule(UnobtrusiveEviction(), 3, free=0, capacity=None)
+        assert plan.evictions == []
+
+    def test_capacity_one_keeps_victims_available(self):
+        # Pathological single-frame memory: each eviction must wait for an
+        # earlier arrival so a victim exists.
+        plan = schedule(UnobtrusiveEviction(), 3, free=0, capacity=1)
+        for i, (start, _end) in enumerate(plan.evictions):
+            if i >= 1:
+                assert start >= plan.arrivals[i - 1]
+
+
+class TestIdeal:
+    def test_migrations_never_wait(self):
+        plan = schedule(IdealEviction(), 4, free=0, capacity=10)
+        assert plan.arrivals == [
+            MIGRATION_START + H2D * (k + 1) for k in range(4)
+        ]
+
+    def test_evictions_are_instant(self):
+        plan = schedule(IdealEviction(), 2, free=0, capacity=10)
+        assert all(start == end for start, end in plan.evictions)
+
+    def test_at_least_as_fast_as_unobtrusive(self):
+        ideal = schedule(IdealEviction(), 6, free=0, capacity=10)
+        ue = schedule(UnobtrusiveEviction(), 6, free=0, capacity=10)
+        assert ideal.arrivals[-1] <= ue.arrivals[-1]
+
+
+def test_factory():
+    assert isinstance(make_eviction_strategy("serialized"), SerializedEviction)
+    assert isinstance(make_eviction_strategy("unobtrusive"), UnobtrusiveEviction)
+    assert isinstance(make_eviction_strategy("ideal"), IdealEviction)
+    with pytest.raises(ConfigError):
+        make_eviction_strategy("teleport")

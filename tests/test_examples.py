@@ -1,0 +1,82 @@
+"""The examples must stay runnable: execute each one in-process."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(monkeypatch, capsys, script, argv):
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(f"{EXAMPLES}/{script}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py",
+                      ["--scale", "tiny", "--workload", "KCORE"])
+    assert "TO+UE speedup over baseline" in out
+    assert "batches processed" in out
+
+
+def test_graph_analytics_comparison(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "graph_analytics_comparison.py",
+        ["--scale", "tiny", "--workloads", "KCORE"],
+    )
+    assert "AVERAGE" in out
+    assert "TO+UE" in out
+
+
+def test_oversubscription_sweep(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "oversubscription_sweep.py",
+        ["--scale", "tiny", "--workload", "KCORE",
+         "--ratios", "0.8", "1.0"],
+    )
+    assert "UE speedup" in out
+    assert "1.0" in out
+
+
+def test_batch_timeline(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "batch_timeline.py",
+        ["--scale", "tiny", "--workload", "KCORE", "--batches", "3"],
+    )
+    assert "batch timeline" in out
+    assert "BASELINE" in out and "TO+UE" in out
+    assert "#" in out  # fault-handling lane glyphs
+
+
+def test_custom_workload(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "custom_workload.py",
+                      ["--ratio", "0.9"])
+    assert "HASH-PROBE" in out
+    assert "BASELINE" in out
+
+
+def test_graph_structure_study(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "graph_structure_study.py",
+        ["--vertices", "1024", "--degree", "6"],
+    )
+    assert "R-MAT" in out
+    assert "uniform random" in out
+    assert "speedup" in out
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "graph_analytics_comparison.py",
+    "oversubscription_sweep.py",
+    "batch_timeline.py",
+    "custom_workload.py",
+    "graph_structure_study.py",
+])
+def test_examples_have_docstrings(script):
+    with open(f"{EXAMPLES}/{script}") as f:
+        source = f.read()
+    assert source.lstrip().startswith(("#!", '"""')), script
+    assert '"""' in source

@@ -1,0 +1,131 @@
+"""Unit tests for the graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.graph import (
+    CsrGraph,
+    bfs_levels,
+    generate_rmat,
+    generate_uniform,
+)
+
+
+def tiny_graph():
+    # 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 3
+    offsets = np.array([0, 2, 3, 4, 4])
+    edges = np.array([1, 2, 2, 3])
+    return CsrGraph(offsets, edges)
+
+
+class TestCsrGraph:
+    def test_basic_shape(self):
+        g = tiny_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+
+    def test_degrees(self):
+        g = tiny_graph()
+        assert g.degree(0) == 2
+        assert g.degree(3) == 0
+        assert list(g.degrees()) == [2, 1, 1, 0]
+
+    def test_neighbors(self):
+        g = tiny_graph()
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(3)) == []
+
+    def test_neighbor_slice(self):
+        g = tiny_graph()
+        assert g.neighbor_slice(1) == (2, 3)
+
+    def test_default_weights(self):
+        g = tiny_graph()
+        assert g.weights.shape == g.edges.shape
+        assert np.all(g.weights == 1)
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(WorkloadError):
+            CsrGraph(np.array([1, 2]), np.array([0]))
+        with pytest.raises(WorkloadError):
+            CsrGraph(np.array([0, 2, 1]), np.array([0, 0]))
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(WorkloadError):
+            CsrGraph(np.array([0, 1]), np.array([5]))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(WorkloadError):
+            CsrGraph(np.array([0, 1, 1]), np.array([1]), weights=np.array([1, 2]))
+
+
+class TestGenerators:
+    def test_rmat_shape(self):
+        g = generate_rmat(256, avg_degree=4, seed=1)
+        assert g.num_vertices == 256
+        assert 0 < g.num_edges <= 256 * 4
+
+    def test_rmat_deterministic(self):
+        a = generate_rmat(128, 4, seed=7)
+        b = generate_rmat(128, 4, seed=7)
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_rmat_seed_changes_graph(self):
+        a = generate_rmat(128, 4, seed=1)
+        b = generate_rmat(128, 4, seed=2)
+        assert not (
+            np.array_equal(a.offsets, b.offsets)
+            and np.array_equal(a.edges, b.edges)
+        )
+
+    def test_rmat_power_law_skew(self):
+        # R-MAT should concentrate edges on hub vertices far more than a
+        # uniform graph does.
+        rmat = generate_rmat(1024, 8, seed=3)
+        uniform = generate_uniform(1024, 8, seed=3)
+        assert rmat.degrees().max() > 2 * uniform.degrees().max()
+
+    def test_no_self_loops_or_duplicates(self):
+        g = generate_rmat(256, 8, seed=5)
+        for v in range(g.num_vertices):
+            neighbors = list(g.neighbors(v))
+            assert v not in neighbors
+            assert len(neighbors) == len(set(neighbors))
+
+    def test_uniform_shape(self):
+        g = generate_uniform(256, 4, seed=1)
+        assert g.num_vertices == 256
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(WorkloadError):
+            generate_rmat(1, 4)
+        with pytest.raises(WorkloadError):
+            generate_uniform(100, 0)
+
+
+class TestBfsLevels:
+    def test_levels_on_tiny_graph(self):
+        levels = bfs_levels(tiny_graph(), source=0)
+        assert list(levels) == [0, 1, 1, 2]
+
+    def test_unreachable_marked(self):
+        offsets = np.array([0, 1, 1, 1])
+        edges = np.array([1])
+        levels = bfs_levels(CsrGraph(offsets, edges), source=0)
+        assert levels[2] == -1
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(WorkloadError):
+            bfs_levels(tiny_graph(), source=99)
+
+    def test_level_monotonicity(self):
+        g = generate_rmat(128, 8, seed=2)
+        levels = bfs_levels(g, source=0)
+        # No edge may skip a level: level(dst) <= level(src) + 1.
+        for v in range(g.num_vertices):
+            if levels[v] < 0:
+                continue
+            for u in g.neighbors(v):
+                assert 0 <= levels[u] <= levels[v] + 1

@@ -1,0 +1,90 @@
+"""Cross-cutting system combinations not covered by the figure benches."""
+
+import dataclasses
+
+import pytest
+
+from repro import GpuUvmSimulator, build_workload, systems
+from repro.workloads.registry import SCALES
+
+RATIO = SCALES["tiny"].half_memory_ratio
+
+
+def run(preset, workload_name="KCORE", ratio=RATIO, **config_patches):
+    workload = build_workload(workload_name, scale="tiny")
+    config = preset.configure(workload, ratio=ratio)
+    for path, value in config_patches.items():
+        section, field = path.split(".")
+        sub = dataclasses.replace(
+            getattr(config, section), **{field: value}
+        )
+        config = dataclasses.replace(config, **{section: sub})
+    return GpuUvmSimulator(workload, config).run(max_events=40_000_000)
+
+
+class TestCombinations:
+    def test_ue_with_pcie_compression(self):
+        plain = run(systems.UE)
+        compressed = run(systems.UE, **{"uvm.pcie_compression": True})
+        # Compression shortens transfers; with UE it can only help.
+        assert compressed.exec_cycles <= plain.exec_cycles
+
+    def test_to_ue_with_runahead(self):
+        plain = run(systems.TO_UE)
+        combo = run(
+            systems.TO_UE,
+            **{
+                "runahead.enabled": True,
+            },
+        )
+        # The combination completes and probes fire alongside TO.
+        assert combo.exec_cycles > 0
+        assert combo.extras["runahead_probes"] > 0
+        assert combo.context_switches > 0
+        # No pathological blow-up versus TO+UE alone.
+        assert combo.exec_cycles < 3 * plain.exec_cycles
+
+    def test_etc_with_proactive_eviction(self):
+        result = run(
+            systems.ETC,
+            workload_name="BFS-TTC",
+            **{"etc.proactive_eviction": True},
+        )
+        assert result.exec_cycles > 0
+
+    def test_access_lru_with_to_ue(self):
+        result = run(systems.TO_UE, **{"uvm.replacement_policy": "access-lru"})
+        assert result.exec_cycles > 0
+
+    def test_no_prefetch_ue(self):
+        result = run(systems.UE, **{"uvm.prefetcher": "none"})
+        assert result.prefetched_pages == 0
+        assert result.exec_cycles > 0
+
+    def test_ideal_eviction_with_to(self):
+        base = run(systems.TO)
+        ideal = run(
+            systems.TO,
+            **{},
+        )
+        # Same config twice: determinism holds through the patch helper.
+        assert base.exec_cycles == ideal.exec_cycles
+
+
+class TestFaultHandlingExtremes:
+    def test_zero_interrupt_latency(self):
+        result = run(systems.BASELINE, **{"uvm.interrupt_latency_cycles": 0})
+        # First batches degrade toward single-fault batches but the run
+        # still completes.
+        assert result.exec_cycles > 0
+        assert result.batch_stats.num_batches > 0
+
+    def test_tiny_fault_buffer(self):
+        result = run(systems.BASELINE, **{"uvm.fault_buffer_entries": 4})
+        assert result.exec_cycles > 0
+        assert result.extras["fault_buffer_overflows"] >= 0
+
+    def test_huge_fault_handling_time(self):
+        slow = run(systems.BASELINE, **{"uvm.fault_handling_cycles": 50_000})
+        fast = run(systems.BASELINE, **{"uvm.fault_handling_cycles": 500})
+        assert slow.exec_cycles > fast.exec_cycles

@@ -1,0 +1,115 @@
+"""Integration matrix: every paper workload runs end-to-end.
+
+Each of the 11 irregular workloads completes under the baseline at the
+calibrated oversubscription, with the core conservation invariants
+holding.  (Per-system deep dives live in test_simulator.py; this file is
+the breadth sweep.)
+"""
+
+import pytest
+
+from repro import GpuUvmSimulator, build_workload, systems
+from repro.experiments.common import PAPER_WORKLOADS
+from repro.workloads.registry import SCALES
+
+RATIO = SCALES["tiny"].half_memory_ratio
+
+
+@pytest.fixture(scope="module", params=PAPER_WORKLOADS)
+def baseline_run(request):
+    workload = build_workload(request.param, scale="tiny")
+    config = systems.BASELINE.configure(workload, ratio=RATIO)
+    sim = GpuUvmSimulator(workload, config)
+    result = sim.run(max_events=40_000_000)
+    return workload, config, sim, result
+
+
+class TestEveryWorkloadUnderBaseline:
+    def test_completes(self, baseline_run):
+        _wl, _cfg, _sim, result = baseline_run
+        assert result.exec_cycles > 0
+
+    def test_migrations_cover_unique_faults(self, baseline_run):
+        _wl, _cfg, _sim, result = baseline_run
+        # Every uniquely faulted page must arrive at least once.
+        assert result.migrated_pages >= result.unique_fault_pages
+
+    def test_frame_conservation(self, baseline_run):
+        _wl, cfg, sim, result = baseline_run
+        assert sim.memory.resident_pages <= cfg.uvm.frames
+        # allocations - evictions == resident at the end.
+        assert (
+            sim.memory.allocations - sim.memory.evictions
+            == sim.memory.resident_pages
+        )
+
+    def test_page_table_consistent_with_memory(self, baseline_run):
+        _wl, _cfg, sim, result = baseline_run
+        assert sim.page_table.resident_pages == sim.memory.resident_pages
+        for page in sim.page_table.resident_set():
+            assert sim.memory.is_resident(page)
+
+    def test_batches_account_for_migrations(self, baseline_run):
+        _wl, _cfg, _sim, result = baseline_run
+        assert result.batch_stats.total_migrated_pages == result.migrated_pages
+
+    def test_batch_records_complete_and_ordered(self, baseline_run):
+        _wl, _cfg, _sim, result = baseline_run
+        records = result.batch_stats.records
+        assert all(r.complete for r in records)
+        begins = [r.begin_time for r in records]
+        assert begins == sorted(begins)
+        for record in records:
+            assert record.begin_time <= record.first_migration_time
+            assert record.first_migration_time <= record.end_time
+
+    def test_touched_pages_within_footprint(self, baseline_run):
+        wl, _cfg, sim, _result = baseline_run
+        valid = wl.address_space.all_pages()
+        assert sim.page_table.resident_set() <= valid
+
+    def test_no_stalled_warps_left(self, baseline_run):
+        _wl, _cfg, sim, _result = baseline_run
+        assert not sim.runtime.waiting_pages()
+        assert sim.runtime.fault_buffer.empty
+
+
+class TestCrossSystemSpotChecks:
+    """Invariants that must hold for representative workloads x systems."""
+
+    @pytest.mark.parametrize("name", ["BFS-TWC", "SSSP-TWC", "GC-TTC"])
+    def test_to_ue_not_slower_than_baseline(self, name):
+        workload = build_workload(name, scale="tiny")
+        base = GpuUvmSimulator(
+            workload, systems.BASELINE.configure(workload, ratio=RATIO)
+        ).run()
+        to_ue = GpuUvmSimulator(
+            workload, systems.TO_UE.configure(workload, ratio=RATIO)
+        ).run()
+        assert to_ue.exec_cycles <= base.exec_cycles
+
+    @pytest.mark.parametrize("name", ["BFS-TTC", "KCORE"])
+    def test_unlimited_is_fastest(self, name):
+        workload = build_workload(name, scale="tiny")
+        unlimited = GpuUvmSimulator(
+            workload, systems.UNLIMITED.configure(workload, ratio=1.0)
+        ).run()
+        for preset in (systems.BASELINE, systems.TO_UE, systems.ETC):
+            pressured = GpuUvmSimulator(
+                workload, preset.configure(workload, ratio=RATIO)
+            ).run()
+            assert unlimited.exec_cycles < pressured.exec_cycles
+
+    @pytest.mark.parametrize("name", ["BFS-TTC", "PR"])
+    def test_faults_bounded_by_workload_footprint(self, name):
+        # Which pages *fault* is timing-dependent (a page may stay resident
+        # in one system and get evicted-then-refaulted in another), but
+        # every faulted page must be one the workload actually touches.
+        workload = build_workload(name, scale="tiny")
+        touched = workload.touched_pages()
+        for preset in (systems.BASELINE, systems.UE):
+            sim = GpuUvmSimulator(
+                workload, preset.configure(workload, ratio=RATIO)
+            )
+            sim.run()
+            assert frozenset(sim._unique_fault_pages) <= touched

@@ -1,0 +1,68 @@
+"""Unit tests for the MMU translation path."""
+
+import pytest
+
+from repro.gpu.config import GpuConfig
+from repro.vm.mmu import GpuMmu
+from repro.vm.page_table import PageTable
+
+
+@pytest.fixture
+def mmu():
+    return GpuMmu(GpuConfig(num_sms=2), PageTable())
+
+
+def test_resident_page_walk_then_tlb_hits(mmu):
+    mmu.page_table.map(5, 0)
+    first = mmu.translate(5, sm_id=0, now=0)
+    assert first.resident and first.level == "walk"
+    second = mmu.translate(5, sm_id=0, now=1000)
+    assert second.resident and second.level == "l1"
+    assert second.latency < first.latency
+
+
+def test_l2_tlb_shared_across_sms(mmu):
+    mmu.page_table.map(5, 0)
+    mmu.translate(5, sm_id=0, now=0)          # fills L1(0) + L2
+    result = mmu.translate(5, sm_id=1, now=10)  # misses L1(1), hits L2
+    assert result.level == "l2"
+
+
+def test_nonresident_page_faults(mmu):
+    result = mmu.translate(9, sm_id=0, now=0)
+    assert not result.resident
+    assert result.level == "walk"
+    assert mmu.faults_detected == 1
+
+
+def test_fault_does_not_fill_tlbs(mmu):
+    mmu.translate(9, sm_id=0, now=0)
+    mmu.page_table.map(9, 0)
+    result = mmu.translate(9, sm_id=0, now=100)
+    assert result.level == "walk"  # still had to walk
+
+
+def test_eviction_shootdown_via_version(mmu):
+    mmu.page_table.map(5, 0)
+    mmu.translate(5, sm_id=0, now=0)
+    mmu.page_table.unmap(5)  # bumps version
+    result = mmu.translate(5, sm_id=0, now=100)
+    assert not result.resident
+
+
+def test_explicit_invalidate(mmu):
+    mmu.page_table.map(5, 0)
+    mmu.translate(5, sm_id=0, now=0)
+    mmu.invalidate(5)
+    # Version unchanged but the entries are gone -> walk again.
+    result = mmu.translate(5, sm_id=0, now=10)
+    assert result.level == "walk"
+
+
+def test_latency_ordering(mmu):
+    mmu.page_table.map(5, 0)
+    walk = mmu.translate(5, 0, 0).latency
+    mmu.l1_tlbs[0].invalidate(5)
+    l2 = mmu.translate(5, 0, 10).latency
+    l1 = mmu.translate(5, 0, 20).latency
+    assert l1 < l2 < walk

@@ -1,0 +1,93 @@
+"""Unit tests for the Thread Oversubscription controller."""
+
+import pytest
+
+from repro.core.oversubscription import ThreadOversubscriptionController
+from repro.errors import ConfigError
+from repro.gpu.config import ToConfig
+
+
+def make(enabled=True, initial=1, maximum=3):
+    return ThreadOversubscriptionController(
+        ToConfig(
+            enabled=enabled,
+            initial_extra_blocks=initial,
+            max_extra_blocks=maximum,
+        )
+    )
+
+
+def test_disabled_controller_allows_nothing():
+    ctrl = make(enabled=False)
+    assert ctrl.extra_blocks_allowed == 0
+    assert not ctrl.context_switch_allowed()
+
+
+def test_enabled_starts_with_initial_extra():
+    ctrl = make(initial=1)
+    assert ctrl.extra_blocks_allowed == 1
+    assert ctrl.context_switch_allowed()
+
+
+def test_rejects_inconsistent_config():
+    with pytest.raises(ConfigError):
+        make(initial=4, maximum=2)
+
+
+def test_drop_disables_switching_and_shrinks():
+    ctrl = make(initial=2)
+    ctrl.on_lifetime_sample(dropped=True)
+    assert not ctrl.context_switch_allowed()
+    assert ctrl.extra_blocks_allowed == 1
+    assert ctrl.decrements == 1
+
+
+def test_degree_never_negative():
+    ctrl = make(initial=1)
+    for _ in range(5):
+        ctrl.on_lifetime_sample(dropped=True)
+    assert ctrl.extra_blocks_allowed == 0
+
+
+def test_single_healthy_window_does_not_rearm():
+    # Hysteresis: one healthy window after a drop is not enough.
+    ctrl = make()
+    ctrl.on_lifetime_sample(dropped=True)
+    ctrl.on_lifetime_sample(dropped=False)
+    assert not ctrl.context_switch_allowed()
+
+
+def test_sustained_health_rearms_and_grows():
+    ctrl = make(initial=1, maximum=3)
+    grown = []
+    ctrl.on_grow = lambda: grown.append(True)
+    ctrl.on_lifetime_sample(dropped=True)   # -> 0 extras
+    ctrl.on_lifetime_sample(dropped=False)
+    ctrl.on_lifetime_sample(dropped=False)  # streak 2: re-arm + grow
+    assert ctrl.context_switch_allowed()
+    assert ctrl.extra_blocks_allowed == 1
+    assert grown == [True]
+
+
+def test_growth_capped_at_max():
+    ctrl = make(initial=3, maximum=3)
+    for _ in range(6):
+        ctrl.on_lifetime_sample(dropped=False)
+    assert ctrl.extra_blocks_allowed == 3
+    assert ctrl.increments == 0
+
+
+def test_drop_resets_healthy_streak():
+    ctrl = make(initial=1, maximum=3)
+    ctrl.on_lifetime_sample(dropped=False)
+    ctrl.on_lifetime_sample(dropped=True)
+    ctrl.on_lifetime_sample(dropped=False)
+    # Streak was reset: still only 1 healthy window.
+    assert not ctrl.context_switch_allowed()
+
+
+def test_disabled_controller_ignores_samples():
+    ctrl = make(enabled=False)
+    ctrl.on_lifetime_sample(dropped=False)
+    ctrl.on_lifetime_sample(dropped=False)
+    assert ctrl.extra_blocks_allowed == 0

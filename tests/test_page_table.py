@@ -1,0 +1,62 @@
+"""Unit tests for the page table."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.vm.page_table import PageTable
+
+
+def test_empty_table():
+    pt = PageTable()
+    assert not pt.is_resident(1)
+    assert pt.resident_pages == 0
+
+
+def test_map_and_lookup():
+    pt = PageTable()
+    pt.map(7, 3)
+    assert pt.is_resident(7)
+    assert pt.frame_of(7) == 3
+
+
+def test_double_map_rejected():
+    pt = PageTable()
+    pt.map(7, 3)
+    with pytest.raises(SimulationError):
+        pt.map(7, 4)
+
+
+def test_unmap_returns_frame():
+    pt = PageTable()
+    pt.map(7, 3)
+    assert pt.unmap(7) == 3
+    assert not pt.is_resident(7)
+
+
+def test_unmap_missing_rejected():
+    with pytest.raises(SimulationError):
+        PageTable().unmap(9)
+
+
+def test_frame_of_missing_rejected():
+    with pytest.raises(SimulationError):
+        PageTable().frame_of(9)
+
+
+def test_version_bumps_only_on_unmap():
+    pt = PageTable()
+    v0 = pt.version
+    pt.map(1, 0)
+    assert pt.version == v0
+    pt.unmap(1)
+    assert pt.version == v0 + 1
+
+
+def test_counters():
+    pt = PageTable()
+    pt.map(1, 0)
+    pt.map(2, 1)
+    pt.unmap(1)
+    assert pt.maps == 2
+    assert pt.unmaps == 1
+    assert pt.resident_set() == frozenset({2})

@@ -1,0 +1,153 @@
+"""Property-based tests for the core data structures."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.stats import Histogram
+from repro.uvm.fault_buffer import FaultBuffer, FaultEntry
+from repro.uvm.replacement import AccessLru, AgedLru
+from repro.vm.address_space import AddressSpace
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import Tlb
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1))
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500), min_size=1))
+def test_histogram_mean_matches_samples(samples):
+    hist = Histogram("h", 7)
+    for sample in samples:
+        hist.record(sample)
+    assert abs(hist.mean - sum(samples) / len(samples)) < 1e-9
+    assert hist.count == len(samples)
+    assert sum(hist.buckets.values()) == len(samples)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "touch", "remove"]),
+                  st.integers(min_value=0, max_value=15)),
+        max_size=200,
+    )
+)
+def test_access_lru_matches_reference_model(operations):
+    """AccessLru behaves exactly like an OrderedDict-based reference."""
+    lru = AccessLru()
+    reference: OrderedDict[int, None] = OrderedDict()
+    for op, page in operations:
+        if op == "insert":
+            lru.insert(page)
+            if page in reference:
+                reference.move_to_end(page)
+            else:
+                reference[page] = None
+        elif op == "touch":
+            lru.touch(page)
+            if page in reference:
+                reference.move_to_end(page)
+        elif op == "remove" and page in reference:
+            lru.remove(page)
+            del reference[page]
+    assert lru.pages_in_order() == list(reference)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "touch"]),
+                  st.integers(min_value=0, max_value=15)),
+        max_size=200,
+    )
+)
+def test_aged_lru_ignores_touches(operations):
+    """AgedLru order is determined solely by the insert sequence."""
+    lru = AgedLru()
+    inserts_only = AgedLru()
+    for op, page in operations:
+        if op == "insert":
+            lru.insert(page)
+            inserts_only.insert(page)
+        else:
+            lru.touch(page)
+    assert lru.pages_in_order() == inserts_only.pages_in_order()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=300))
+def test_tlb_never_exceeds_capacity_and_hits_after_fill(pages):
+    tlb = Tlb("t", 16, 4)
+    for page in pages:
+        if not tlb.lookup(page, 0):
+            tlb.fill(page, 0)
+            assert tlb.lookup(page, 0)
+        assert tlb.occupancy <= 16
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), max_size=100))
+def test_fault_buffer_drain_returns_exactly_what_fit(pages):
+    buf = FaultBuffer(16)
+    accepted = []
+    for page in pages:
+        if buf.push(FaultEntry(page, None, 0)):
+            accepted.append(page)
+    drained = buf.drain()
+    assert [e.page for e in drained] == accepted[:16]
+    assert buf.empty
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=0, max_value=30)),
+        max_size=60,
+    )
+)
+def test_page_table_maps_and_unmaps_consistently(pairs):
+    pt = PageTable()
+    mapped = {}
+    for page, frame in pairs:
+        if page in mapped:
+            freed = pt.unmap(page)
+            assert freed == mapped.pop(page)
+        else:
+            pt.map(page, frame)
+            mapped[page] = frame
+    assert pt.resident_set() == frozenset(mapped)
+    assert pt.unmaps == pt.version
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=5000),
+                  st.sampled_from([1, 4, 8, 64])),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_address_space_segments_never_overlap(allocs):
+    vas = AddressSpace(4096)
+    for i, (count, width) in enumerate(allocs):
+        vas.allocate(f"seg{i}", count, width)
+    segments = vas.segments
+    for a in segments:
+        for b in segments:
+            if a is not b:
+                assert a.end <= b.base or b.end <= a.base
+    # Page sets of distinct segments are disjoint.
+    covered = set()
+    for seg in segments:
+        pages = set(seg.page_range(vas.page_shift))
+        assert not (pages & covered)
+        covered |= pages
+    assert len(covered) == vas.total_pages

@@ -1,0 +1,148 @@
+"""Property-based tests for the UVM eviction/prefetch invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.config import UvmConfig
+from repro.uvm.eviction import (
+    IdealEviction,
+    SerializedEviction,
+    UnobtrusiveEviction,
+)
+from repro.uvm.prefetcher import TreePrefetcher
+from repro.uvm.transfer import PcieModel
+
+BATCH_START = 1_000
+MIGRATION_START = 21_000
+
+plans = st.tuples(
+    st.integers(min_value=1, max_value=40),   # n_pages
+    st.integers(min_value=0, max_value=40),   # free frames
+    st.integers(min_value=2, max_value=64),   # capacity
+)
+
+
+def schedule(strategy, n_pages, free, capacity):
+    free = min(free, capacity)
+    return strategy.schedule(
+        n_pages=n_pages,
+        free_frames=free,
+        capacity=capacity,
+        batch_start=BATCH_START,
+        migration_start=MIGRATION_START,
+        pcie=PcieModel(UvmConfig()),
+    )
+
+
+@given(plans, st.sampled_from(["serialized", "unobtrusive", "ideal"]))
+def test_plan_invariants(plan, strategy_name):
+    n_pages, free, capacity = plan
+    strategy = {
+        "serialized": SerializedEviction,
+        "unobtrusive": UnobtrusiveEviction,
+        "ideal": IdealEviction,
+    }[strategy_name]()
+    result = schedule(strategy, n_pages, free, capacity)
+    free = min(free, capacity)
+
+    # One arrival per page, in nondecreasing time order, none before the
+    # migration phase begins plus one transfer.
+    assert len(result.arrivals) == n_pages
+    assert result.arrivals == sorted(result.arrivals)
+    h2d = PcieModel(UvmConfig()).h2d_cycles_per_page
+    assert result.arrivals[0] >= MIGRATION_START + h2d
+
+    # Exactly as many evictions as frames are missing.
+    assert len(result.evictions) == max(0, n_pages - free)
+
+    # Evictions are well-formed intervals in eviction order.
+    for start, finish in result.evictions:
+        assert BATCH_START <= start <= finish
+    starts = [s for s, _ in result.evictions]
+    assert starts == sorted(starts)
+
+
+@given(plans)
+def test_frame_conservation(plan):
+    """At any arrival, frames freed so far + initially free >= arrivals."""
+    n_pages, free, capacity = plan
+    free = min(free, capacity)
+    result = schedule(UnobtrusiveEviction(), n_pages, free, capacity)
+    for k, arrival in enumerate(result.arrivals):
+        freed = sum(1 for _, finish in result.evictions if finish <= arrival)
+        assert freed + free >= k + 1, (
+            f"arrival {k} at {arrival} lacks a frame"
+        )
+
+
+@given(plans)
+def test_residency_lower_bound_unobtrusive(plan):
+    """Victim availability: at each eviction start, residency >= 1."""
+    n_pages, free, capacity = plan
+    free = min(free, capacity)
+    result = schedule(UnobtrusiveEviction(), n_pages, free, capacity)
+    for i, (start, _finish) in enumerate(result.evictions):
+        arrivals_done = sum(1 for a in result.arrivals if a <= start)
+        resident = (capacity - free) - i + arrivals_done
+        assert resident >= 1
+
+
+@given(plans)
+def test_unobtrusive_never_slower_than_serialized(plan):
+    n_pages, free, capacity = plan
+    serialized = schedule(SerializedEviction(), n_pages, free, capacity)
+    unobtrusive = schedule(UnobtrusiveEviction(), n_pages, free, capacity)
+    assert unobtrusive.arrivals[-1] <= serialized.arrivals[-1]
+
+
+@given(plans)
+def test_ideal_is_fastest(plan):
+    n_pages, free, capacity = plan
+    ideal = schedule(IdealEviction(), n_pages, free, capacity)
+    for strategy in (SerializedEviction(), UnobtrusiveEviction()):
+        other = schedule(strategy, n_pages, free, capacity)
+        assert ideal.arrivals[-1] <= other.arrivals[-1]
+
+
+# ---------------------------------------------------------------------------
+# Tree prefetcher properties
+# ---------------------------------------------------------------------------
+
+regions = st.sampled_from([4, 8, 16, 32])
+
+
+@settings(max_examples=60)
+@given(
+    regions,
+    st.data(),
+)
+def test_prefetcher_properties(pages_per_region, data):
+    prefetcher = TreePrefetcher(pages_per_region, 0.5)
+    universe = list(range(pages_per_region * 2))
+    faulted = data.draw(
+        st.lists(st.sampled_from(universe), min_size=1, unique=True)
+    )
+    resident = set(
+        data.draw(st.lists(st.sampled_from(universe), unique=True))
+    ) - set(faulted)
+    valid = set(universe)
+
+    extra = prefetcher.expand(
+        faulted, resident.__contains__, valid.__contains__
+    )
+    extra_set = set(extra)
+
+    # Never prefetch demand, resident, or invalid pages; output sorted+unique.
+    assert not (extra_set & set(faulted))
+    assert not (extra_set & resident)
+    assert extra_set <= valid
+    assert extra == sorted(extra_set)
+
+    # Idempotence: treating prefetched pages as resident, a second expand
+    # of the same faults adds nothing new.
+    second = prefetcher.expand(
+        faulted,
+        lambda p: p in resident or p in extra_set,
+        valid.__contains__,
+    )
+    assert set(second) <= extra_set | set()

@@ -1,0 +1,81 @@
+"""Unit tests for the replacement policies."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.uvm.replacement import AccessLru, AgedLru, make_replacement_policy
+
+
+class TestAgedLru:
+    def test_victim_is_oldest_allocation(self):
+        lru = AgedLru()
+        for p in (1, 2, 3):
+            lru.insert(p)
+        assert lru.pick_victim() == 1
+
+    def test_access_does_not_promote(self):
+        # The driver's aged LRU: root chunks move only on allocation.
+        lru = AgedLru()
+        for p in (1, 2, 3):
+            lru.insert(p)
+        lru.touch(1)
+        assert lru.pick_victim() == 1
+
+    def test_reallocation_promotes(self):
+        lru = AgedLru()
+        for p in (1, 2, 3):
+            lru.insert(p)
+        lru.insert(1)  # sub-chunk allocation moves it to the tail
+        assert lru.pick_victim() == 2
+
+    def test_pinned_pages_skipped(self):
+        lru = AgedLru()
+        for p in (1, 2, 3):
+            lru.insert(p)
+        assert lru.pick_victim(pinned=[1, 2]) == 3
+
+    def test_all_pinned_raises(self):
+        lru = AgedLru()
+        lru.insert(1)
+        with pytest.raises(SimulationError):
+            lru.pick_victim(pinned=[1])
+
+    def test_remove(self):
+        lru = AgedLru()
+        lru.insert(1)
+        lru.insert(2)
+        lru.remove(1)
+        assert 1 not in lru
+        assert lru.pick_victim() == 2
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(SimulationError):
+            AgedLru().remove(9)
+
+    def test_order_listing(self):
+        lru = AgedLru()
+        for p in (5, 3, 8):
+            lru.insert(p)
+        assert lru.pages_in_order() == [5, 3, 8]
+
+
+class TestAccessLru:
+    def test_access_promotes(self):
+        lru = AccessLru()
+        for p in (1, 2, 3):
+            lru.insert(p)
+        lru.touch(1)
+        assert lru.pick_victim() == 2
+
+    def test_touch_of_untracked_page_ignored(self):
+        lru = AccessLru()
+        lru.insert(1)
+        lru.touch(99)  # no error
+        assert lru.pick_victim() == 1
+
+
+def test_factory():
+    assert isinstance(make_replacement_policy("aged-lru"), AgedLru)
+    assert isinstance(make_replacement_policy("access-lru"), AccessLru)
+    with pytest.raises(ConfigError):
+        make_replacement_policy("fifo")

@@ -1,0 +1,113 @@
+"""Runtime behaviour around prefetching and capacity pressure."""
+
+from repro.gpu.config import UvmConfig
+from repro.sim.engine import Engine
+from repro.uvm.eviction import SerializedEviction, UnobtrusiveEviction
+from repro.uvm.memory_manager import GpuMemoryManager
+from repro.uvm.prefetcher import make_prefetcher
+from repro.uvm.replacement import AgedLru
+from repro.uvm.runtime import UvmRuntime
+from repro.uvm.transfer import PcieModel
+from repro.vm.page_table import PageTable
+
+
+def make_runtime(frames, *, region_pages=8, eviction=None, valid=None):
+    engine = Engine()
+    uvm = UvmConfig(
+        page_size=4096,
+        fault_handling_cycles=1000,
+        interrupt_latency_cycles=100,
+        gpu_memory_bytes=frames * 4096 if frames else None,
+        prefetcher="tree",
+        prefetch_region_bytes=region_pages * 4096,
+    )
+    memory = GpuMemoryManager(uvm.frames, AgedLru())
+    runtime = UvmRuntime(
+        engine,
+        uvm,
+        PageTable(),
+        memory,
+        PcieModel(uvm),
+        eviction or SerializedEviction(),
+        make_prefetcher(uvm),
+        valid or (lambda page: True),
+    )
+    return engine, runtime
+
+
+def test_dense_faults_trigger_prefetch():
+    engine, runtime = make_runtime(frames=None)
+    # 5 of 8 region pages faulted: the tree fetches the remaining 3.
+    for page in range(5):
+        runtime.raise_fault(page, None)
+    engine.run()
+    record = runtime.batch_stats.records[0]
+    assert record.demand_pages == 5
+    assert record.prefetched_pages == 3
+    for page in range(8):
+        assert runtime.page_table.is_resident(page)
+
+
+def test_prefetch_capped_at_free_frames():
+    # 6 frames, 5 demand pages -> at most 1 prefetched page, never an
+    # eviction forced by prefetching.
+    engine, runtime = make_runtime(frames=6)
+    for page in range(5):
+        runtime.raise_fault(page, None)
+    engine.run()
+    record = runtime.batch_stats.records[0]
+    assert record.demand_pages == 5
+    assert record.prefetched_pages <= 1
+    assert record.evicted_pages == 0
+
+
+def test_prefetch_zero_headroom():
+    engine, runtime = make_runtime(frames=5)
+    for page in range(5):
+        runtime.raise_fault(page, None)
+    engine.run()
+    assert runtime.batch_stats.records[0].prefetched_pages == 0
+
+
+def test_prefetch_respects_valid_pages():
+    valid = set(range(6))
+    engine, runtime = make_runtime(frames=None, valid=valid.__contains__)
+    for page in range(5):
+        runtime.raise_fault(page, None)
+    engine.run()
+    assert runtime.page_table.resident_set() <= frozenset(valid)
+
+
+def test_ue_preemptive_eviction_inside_fht_window():
+    from repro.sim.timeline import Timeline
+
+    engine, runtime = make_runtime(frames=2, eviction=UnobtrusiveEviction())
+    timeline = Timeline()
+    runtime.timeline = timeline
+    for page in (100, 101):
+        runtime.raise_fault(page, None)
+    engine.run()
+    for page in (102, 103):
+        runtime.raise_fault(page, None)
+    engine.run()
+    batch = timeline.of_kind("batch_begin")[-1]
+    first_migration = timeline.of_kind("first_migration")[-1]
+    evicts = [
+        e for e in timeline.of_kind("evict_start") if e.time >= batch.time
+    ]
+    # The preemptive eviction starts right at batch begin and its transfer
+    # fits within the fault handling window.
+    assert evicts[0].time == batch.time
+    assert (
+        evicts[0].time + runtime.pcie.d2h_cycles_per_page
+        <= first_migration.time
+    )
+
+
+def test_batch_demand_counts_exclude_prefetch():
+    engine, runtime = make_runtime(frames=None)
+    for page in range(5):
+        runtime.raise_fault(page, None)
+    engine.run()
+    record = runtime.batch_stats.records[0]
+    assert record.migrated_pages == record.demand_pages + record.prefetched_pages

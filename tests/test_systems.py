@@ -1,0 +1,90 @@
+"""Tests for the named system presets and scale-aware configuration."""
+
+import pytest
+
+from repro import systems
+from repro.workloads.registry import SCALES, build_workload
+
+
+def test_figure11_order():
+    names = [p.name for p in systems.FIGURE11_SYSTEMS]
+    assert names == [
+        "BASELINE",
+        "BASELINE+PCIeC",
+        "TO",
+        "UE",
+        "TO+UE",
+        "ETC",
+    ]
+
+
+def test_by_name():
+    assert systems.by_name("to+ue") is systems.TO_UE
+    with pytest.raises(KeyError):
+        systems.by_name("warp-drive")
+
+
+def test_presets_distinguishing_features():
+    assert systems.BASELINE.base.eviction == "serialized"
+    assert systems.UE.base.eviction == "unobtrusive"
+    assert systems.IDEAL_EVICTION.base.eviction == "ideal"
+    assert systems.TO.base.to.enabled
+    assert not systems.UE.base.to.enabled
+    assert systems.TO_UE.base.to.enabled
+    assert systems.TO_UE.base.eviction == "unobtrusive"
+    assert systems.ETC.base.etc.enabled
+    assert systems.BASELINE_PCIE_COMPRESSION.base.uvm.pcie_compression
+    assert systems.NO_PREFETCH.base.uvm.prefetcher == "none"
+    assert systems.FORCED_OVERSUBSCRIPTION.base.forced_oversubscription
+
+
+class TestConfigure:
+    def test_oversubscription_sizes_memory(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload, ratio=0.5)
+        assert config.uvm.frames == workload.footprint_pages // 2
+
+    def test_full_ratio_unlimited(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload, ratio=1.0)
+        assert config.uvm.gpu_memory_bytes is None
+
+    def test_page_size_inherited_from_workload(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload, ratio=0.5)
+        assert config.uvm.page_size == SCALES["tiny"].page_size
+
+    def test_time_scaling_preserves_fht_to_transfer_ratio(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload, ratio=0.5)
+        fht_pages = config.uvm.fault_handling_cycles / config.uvm.h2d_cycles_per_page()
+        paper_fht_pages = 20_000 / 4161
+        assert fht_pages == pytest.approx(paper_fht_pages, rel=0.05)
+
+    def test_time_scaling_preserves_dram_ratio(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload, ratio=0.5)
+        scale = config.time_scale
+        assert config.gpu.memory_latency_cycles == pytest.approx(
+            200 * scale, abs=1
+        )
+
+    def test_num_sms_from_hint(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload, ratio=0.5)
+        assert config.gpu.num_sms == SCALES["tiny"].num_sms
+
+    def test_fault_handling_override_in_paper_units(self):
+        workload = build_workload("KCORE", scale="tiny")
+        c20 = systems.BASELINE.configure(workload, ratio=0.5)
+        c50 = systems.BASELINE.configure(
+            workload, ratio=0.5, fault_handling_cycles=50_000
+        )
+        assert c50.uvm.fault_handling_cycles == pytest.approx(
+            2.5 * c20.uvm.fault_handling_cycles, rel=0.05
+        )
+
+    def test_rejects_nonpositive_ratio(self):
+        workload = build_workload("KCORE", scale="tiny")
+        with pytest.raises(Exception):
+            systems.BASELINE.configure(workload, ratio=0.0)

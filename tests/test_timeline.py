@@ -1,0 +1,105 @@
+"""Tests for the timeline tracer and its Figure-2-style rendering."""
+
+import pytest
+
+from repro import GpuUvmSimulator, build_workload, systems
+from repro.sim.timeline import Timeline, render_batches, summarize
+
+
+class TestTimeline:
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            Timeline(max_events=0)
+
+    def test_record_and_query(self):
+        tl = Timeline()
+        tl.record(10, "batch_begin", value=0)
+        tl.record(20, "page_arrival", detail="0x10")
+        assert len(tl) == 2
+        assert tl.kinds() == {"batch_begin", "page_arrival"}
+        assert tl.of_kind("page_arrival")[0].time == 20
+
+    def test_between(self):
+        tl = Timeline()
+        for t in (5, 15, 25):
+            tl.record(t, "x")
+        assert len(tl.between(10, 20)) == 1
+
+    def test_cap_drops_and_counts(self):
+        tl = Timeline(max_events=2)
+        for t in range(5):
+            tl.record(t, "x")
+        assert len(tl) == 2
+        assert tl.dropped == 3
+
+    def test_summarize(self):
+        tl = Timeline()
+        tl.record(1, "a")
+        tl.record(2, "a")
+        tl.record(3, "b")
+        assert summarize(tl) == {"a": 2, "b": 1}
+
+
+class TestRendering:
+    def test_empty_timeline(self):
+        assert "no batches" in render_batches(Timeline())
+
+    def test_render_contains_lanes_and_markers(self):
+        tl = Timeline()
+        tl.record(0, "batch_begin", value=0)
+        tl.record(100, "first_migration", value=0)
+        tl.record(150, "evict_start")
+        tl.record(200, "page_arrival")
+        tl.record(300, "batch_end", value=0)
+        text = render_batches(tl)
+        assert "B0" in text
+        assert "#" in text
+        assert "=" in text
+        assert "*" in text
+        assert "!" in text
+
+    def test_render_respects_max_batches(self):
+        tl = Timeline()
+        for i in range(10):
+            tl.record(i * 100, "batch_begin", value=i)
+            tl.record(i * 100 + 50, "batch_end", value=i)
+        text = render_batches(tl, max_batches=3)
+        assert "B2" in text
+        assert "B3" not in text
+
+
+class TestSimulatorIntegration:
+    def test_simulation_populates_timeline(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload)
+        timeline = Timeline()
+        GpuUvmSimulator(workload, config, timeline=timeline).run()
+        counts = summarize(timeline)
+        assert counts["batch_begin"] == counts["batch_end"]
+        assert counts["page_arrival"] > 0
+        assert counts["evict_start"] > 0
+
+    def test_arrivals_match_migrated_pages(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload)
+        timeline = Timeline()
+        result = GpuUvmSimulator(workload, config, timeline=timeline).run()
+        assert summarize(timeline)["page_arrival"] == result.migrated_pages
+
+    def test_batch_events_are_ordered(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload)
+        timeline = Timeline()
+        GpuUvmSimulator(workload, config, timeline=timeline).run()
+        begins = {e.value: e.time for e in timeline.of_kind("batch_begin")}
+        ends = {e.value: e.time for e in timeline.of_kind("batch_end")}
+        firsts = {e.value: e.time for e in timeline.of_kind("first_migration")}
+        for index, begin in begins.items():
+            assert begin <= firsts[index] <= ends[index]
+
+    def test_no_timeline_by_default(self):
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.BASELINE.configure(workload)
+        sim = GpuUvmSimulator(workload, config)
+        sim.run()
+        assert sim.timeline is None

@@ -1,0 +1,122 @@
+"""Unit tests for trace containers and builders."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpu.warp import WarpOp
+from repro.vm.address_space import AddressSpace
+from repro.workloads.trace import (
+    BlockTrace,
+    KernelTrace,
+    WarpOpsBuilder,
+    Workload,
+    group_warps_into_blocks,
+    merge_kernel_ops,
+    vertex_warps,
+)
+
+
+class TestWarpOpsBuilder:
+    def test_access_emits_op(self):
+        builder = WarpOpsBuilder()
+        builder.access([100, 200])
+        ops = builder.build()
+        assert len(ops) == 1
+        assert ops[0].addresses == (100, 200)
+
+    def test_empty_access_skipped(self):
+        builder = WarpOpsBuilder()
+        builder.access([])
+        assert builder.build() == []
+
+    def test_compute_stretch(self):
+        builder = WarpOpsBuilder()
+        builder.compute(50)
+        ops = builder.build()
+        assert ops[0].compute_cycles == 50
+        assert ops[0].addresses == ()
+
+    def test_nonpositive_compute_skipped(self):
+        builder = WarpOpsBuilder()
+        builder.compute(0)
+        assert builder.build() == []
+
+    def test_store_flag_propagates(self):
+        builder = WarpOpsBuilder()
+        builder.access([1], is_store=True)
+        assert builder.build()[0].is_store
+
+    def test_jitter_bounded(self):
+        builder = WarpOpsBuilder(compute_cycles=10)
+        for _ in range(10):
+            builder.access([4])
+        cycles = [op.compute_cycles for op in builder.build()]
+        assert all(10 <= c < 15 for c in cycles)
+
+
+class TestContainers:
+    def make_kernel(self):
+        blocks = [
+            BlockTrace([[WarpOp(8, (0x1000,))], [WarpOp(8, (0x2000,))]]),
+            BlockTrace([[WarpOp(8, (0x1000, 0x3000))]]),
+        ]
+        return KernelTrace("k", blocks)
+
+    def test_counts(self):
+        kernel = self.make_kernel()
+        assert kernel.num_blocks == 2
+        assert kernel.num_ops == 3
+        assert kernel.blocks[0].num_warps == 2
+
+    def test_block_pages(self):
+        kernel = self.make_kernel()
+        assert kernel.blocks[0].pages(12) == {1, 2}
+        assert kernel.blocks[1].pages(12) == {1, 3}
+
+    def test_kernel_pages_union(self):
+        assert self.make_kernel().pages(12) == {1, 2, 3}
+
+    def test_workload_requires_kernels(self):
+        vas = AddressSpace(4096)
+        vas.allocate("a", 10, 4)
+        with pytest.raises(WorkloadError):
+            Workload("w", vas, [])
+
+    def test_workload_footprint(self):
+        vas = AddressSpace(4096)
+        vas.allocate("a", 4096, 4)  # 4 pages
+        workload = Workload("w", vas, [self.make_kernel()])
+        assert workload.footprint_pages == 4
+        assert workload.num_ops == 3
+
+
+class TestHelpers:
+    def test_vertex_warps_cover_all_vertices(self):
+        warps = vertex_warps(100, threads_per_block=64)
+        covered = [v for _, vrange in warps for v in vrange]
+        assert covered == list(range(100))
+        assert len(warps) == 4  # ceil(100/32)
+
+    def test_vertex_warps_rejects_bad_block(self):
+        with pytest.raises(WorkloadError):
+            vertex_warps(10, threads_per_block=48)
+
+    def test_group_warps_into_blocks(self):
+        warp_ops = [[WarpOp(1, (i,))] for i in range(10)]
+        blocks = group_warps_into_blocks(warp_ops, warps_per_block=4)
+        assert [b.num_warps for b in blocks] == [4, 4, 2]
+
+    def test_group_rejects_bad_size(self):
+        with pytest.raises(WorkloadError):
+            group_warps_into_blocks([], 0)
+
+    def test_merge_kernel_ops(self):
+        phase1 = [[WarpOp(1, (1,))], [WarpOp(1, (2,))]]
+        phase2 = [[WarpOp(1, (3,))]]
+        merged = merge_kernel_ops([phase1, phase2])
+        assert len(merged) == 2
+        assert len(merged[0]) == 2
+        assert len(merged[1]) == 1
+
+    def test_merge_empty(self):
+        assert merge_kernel_ops([]) == []

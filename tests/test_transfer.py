@@ -1,0 +1,66 @@
+"""Unit tests for the PCIe DMA channel model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.config import UvmConfig
+from repro.uvm.transfer import DmaChannel, PcieModel
+
+
+class TestDmaChannel:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(SimulationError):
+            DmaChannel("c", 0)
+
+    def test_idle_channel_starts_immediately(self):
+        ch = DmaChannel("c", 100)
+        assert ch.enqueue(50) == (50, 150)
+
+    def test_back_to_back_transfers_pipeline(self):
+        ch = DmaChannel("c", 100)
+        ch.enqueue(0)
+        assert ch.enqueue(0) == (100, 200)
+        assert ch.enqueue(0) == (200, 300)
+
+    def test_gap_between_transfers(self):
+        ch = DmaChannel("c", 100)
+        ch.enqueue(0)
+        assert ch.enqueue(500) == (500, 600)
+
+    def test_custom_duration(self):
+        ch = DmaChannel("c", 100)
+        assert ch.enqueue(0, duration=10) == (0, 10)
+
+    def test_statistics(self):
+        ch = DmaChannel("c", 100)
+        ch.enqueue(0)
+        ch.enqueue(0)
+        assert ch.pages_transferred == 2
+        assert ch.busy_cycles == 200
+
+
+class TestPcieModel:
+    def test_directions_are_independent(self):
+        pcie = PcieModel(UvmConfig())
+        m_start, _ = pcie.migrate_page(0)
+        e_start, _ = pcie.evict_page(0)
+        # Both start at 0: bidirectional overlap.
+        assert m_start == 0
+        assert e_start == 0
+
+    def test_d2h_faster_than_h2d(self):
+        pcie = PcieModel(UvmConfig())
+        assert pcie.d2h_cycles_per_page < pcie.h2d_cycles_per_page
+
+    def test_compression_shrinks_transfers(self):
+        plain = PcieModel(UvmConfig())
+        squeezed = PcieModel(UvmConfig(pcie_compression=True))
+        ratio = UvmConfig().pcie_compression_ratio
+        assert squeezed.h2d_cycles_per_page == pytest.approx(
+            plain.h2d_cycles_per_page / ratio, abs=2
+        )
+
+    def test_transfer_time_matches_table1(self):
+        # 64 KB at 15.75 GB/s ~= 4.16 us.
+        pcie = PcieModel(UvmConfig())
+        assert pcie.h2d_cycles_per_page == pytest.approx(4161, abs=2)
