@@ -8,6 +8,13 @@ run, and shape assertions check the paper's qualitative claims.
 
 Set ``REPRO_BENCH_SCALE=small`` (or ``medium``) for higher-fidelity, much
 slower runs; the default ``tiny`` keeps the whole suite in minutes.
+
+Simulation cells additionally hit the *persistent* run cache in
+``.repro-cache/`` (shared with the ``repro-experiments`` CLI), so a
+benchmark session after a CLI sweep — or a second benchmark session —
+reuses every completed run.  ``REPRO_JOBS=N`` fans cache-missing cells
+out across N worker processes; ``REPRO_CACHE=0`` / ``REPRO_CACHE_DIR``
+disable or relocate the cache.
 """
 
 from __future__ import annotations
@@ -17,9 +24,20 @@ import pathlib
 
 import pytest
 
+from repro.experiments import common
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 _RESULT_CACHE: dict[tuple, object] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _experiment_layer_config():
+    """Honour the REPRO_JOBS/REPRO_CACHE* environment for the session."""
+    jobs = os.environ.get("REPRO_BENCH_JOBS") or os.environ.get("REPRO_JOBS")
+    if jobs:
+        common.set_default_jobs(int(jobs))
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,20 @@ Every experiment module exposes
 The paper-vs-measured record lives in EXPERIMENTS.md.
 """
 
-from repro.experiments.common import ExperimentResult, run_system
+from repro.experiments.common import (
+    ExperimentResult,
+    RunSpec,
+    run_cells,
+    run_config,
+    run_matrix,
+    run_system,
+)
 
-__all__ = ["ExperimentResult", "run_system"]
+__all__ = [
+    "ExperimentResult",
+    "RunSpec",
+    "run_cells",
+    "run_config",
+    "run_matrix",
+    "run_system",
+]

@@ -12,6 +12,12 @@ Not figures from the paper — these probe the knobs the paper fixes:
   ratio.  UE's pipelining hinges on evictions keeping pace with
   migrations (Section 4.2 cites D2H being the faster direction).
 * ``to-degree`` — the maximum thread-oversubscription degree.
+
+Every run goes through :func:`repro.experiments.common.run_config` /
+:func:`~repro.experiments.common.run_matrix`, so ablation cells share the
+persistent run cache and fan out across ``--jobs`` workers like the paper
+figures: each ``run_*`` first dispatches its full cell set, then assembles
+the table from cache hits.
 """
 
 from __future__ import annotations
@@ -19,21 +25,32 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro import systems
-from repro.experiments.common import ExperimentResult, half_ratio
-from repro.simulator import GpuUvmSimulator
+from repro.experiments.common import (
+    ExperimentResult,
+    RunSpec,
+    half_ratio,
+    run_cells,
+    run_config,
+    run_matrix,
+)
 from repro.workloads.registry import build_workload
 
 DEFAULT_WORKLOADS = ("BFS-TTC", "BFS-TWC", "KCORE", "PR")
-MAX_EVENTS = 60_000_000
 
 
-def _mean_speedup(base_cycles: list[int], other_cycles: list[int]) -> float:
-    speedups = [b / o for b, o in zip(base_cycles, other_cycles)]
-    return sum(speedups) / len(speedups)
+def _run(workload: str, config, scale: str) -> int:
+    return run_config(workload, config, scale=scale).exec_cycles
 
 
-def _run(workload, config) -> int:
-    return GpuUvmSimulator(workload, config).run(max_events=MAX_EVENTS).exec_cycles
+def _prewarm(named_configs, scale: str, label: str) -> None:
+    """Fan out a list of (workload-name, SimConfig) cells."""
+    run_cells(
+        [
+            RunSpec(name, config=config, scale=scale)
+            for name, config in named_configs
+        ],
+        label=label,
+    )
 
 
 def run_replacement(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> ExperimentResult:
@@ -47,16 +64,26 @@ def run_replacement(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> Experim
             "driver cannot see accesses, so aged LRU is what ships."
         ),
     )
+    configs: dict[tuple[str, str], tuple] = {}
     for name in workloads:
         workload = build_workload(name, scale=scale)
-        row = {}
         for column, preset in (("baseline", systems.BASELINE),
                                ("to_ue", systems.TO_UE)):
             aged = preset.configure(workload, ratio=half_ratio(scale))
             accessed = replace(
                 aged, uvm=replace(aged.uvm, replacement_policy="access-lru")
             )
-            row[column] = _run(workload, aged) / _run(workload, accessed)
+            configs[(name, column)] = (aged, accessed)
+    _prewarm(
+        [(name, cfg) for (name, _), pair in configs.items() for cfg in pair],
+        scale,
+        "abl-replacement",
+    )
+    for name in workloads:
+        row = {}
+        for column in ("baseline", "to_ue"):
+            aged, accessed = configs[(name, column)]
+            row[column] = _run(name, aged, scale) / _run(name, accessed, scale)
         result.add_row(name, **row)
     result.add_row(
         "AVERAGE", **{c: result.mean(c) for c in result.columns}
@@ -72,19 +99,27 @@ def run_prefetch(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> Experiment
         columns=["baseline", "to_ue", "prefetched_pages"],
         notes="The baseline system's prefetcher (Zheng et al.) vs. demand-only.",
     )
+    configs: dict[tuple[str, str], tuple] = {}
     for name in workloads:
         workload = build_workload(name, scale=scale)
-        row = {}
         for column, preset in (("baseline", systems.BASELINE),
                                ("to_ue", systems.TO_UE)):
             with_pf = preset.configure(workload, ratio=half_ratio(scale))
             without = replace(
                 with_pf, uvm=replace(with_pf.uvm, prefetcher="none")
             )
-            row[column] = _run(workload, without) / _run(workload, with_pf)
-        pf_run = GpuUvmSimulator(
-            workload, systems.BASELINE.configure(workload, ratio=half_ratio(scale))
-        ).run(max_events=MAX_EVENTS)
+            configs[(name, column)] = (with_pf, without)
+    _prewarm(
+        [(name, cfg) for (name, _), pair in configs.items() for cfg in pair],
+        scale,
+        "abl-prefetch",
+    )
+    for name in workloads:
+        row = {}
+        for column in ("baseline", "to_ue"):
+            with_pf, without = configs[(name, column)]
+            row[column] = _run(name, without, scale) / _run(name, with_pf, scale)
+        pf_run = run_config(name, configs[(name, "baseline")][0], scale=scale)
         row["prefetched_pages"] = pf_run.prefetched_pages
         result.add_row(name, **row)
     result.add_row(
@@ -113,6 +148,7 @@ def run_dirty(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> ExperimentRes
             "completely, so UE >= skip_clean and UE+skip ~= UE."
         ),
     )
+    configs: dict[str, tuple] = {}
     for name in workloads:
         workload = build_workload(name, scale=scale)
         base_cfg = systems.BASELINE.configure(workload, ratio=half_ratio(scale))
@@ -124,12 +160,20 @@ def run_dirty(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> ExperimentRes
         ue_skip_cfg = replace(
             ue_cfg, uvm=replace(ue_cfg.uvm, skip_clean_eviction_transfer=True)
         )
-        base = _run(workload, base_cfg)
+        configs[name] = (base_cfg, skip_cfg, ue_cfg, ue_skip_cfg)
+    _prewarm(
+        [(name, cfg) for name, quad in configs.items() for cfg in quad],
+        scale,
+        "abl-dirty",
+    )
+    for name in workloads:
+        base_cfg, skip_cfg, ue_cfg, ue_skip_cfg = configs[name]
+        base = _run(name, base_cfg, scale)
         result.add_row(
             name,
-            skip_clean=base / _run(workload, skip_cfg),
-            ue=base / _run(workload, ue_cfg),
-            ue_plus_skip=base / _run(workload, ue_skip_cfg),
+            skip_clean=base / _run(name, skip_cfg, scale),
+            ue=base / _run(name, ue_cfg, scale),
+            ue_plus_skip=base / _run(name, ue_skip_cfg, scale),
         )
     result.add_row(
         "AVERAGE", **{c: result.mean(c) for c in result.columns}
@@ -151,7 +195,9 @@ def run_bandwidth(scale: str = "tiny", workload: str = "BFS-TTC") -> ExperimentR
         ),
     )
     wl = build_workload(workload, scale=scale)
-    for d2h_factor in (0.5, 0.75, 1.0, 1.1, 1.5):
+    factors = (0.5, 0.75, 1.0, 1.1, 1.5)
+    configs: dict[float, tuple] = {}
+    for d2h_factor in factors:
         base_cfg = systems.BASELINE.configure(wl, ratio=half_ratio(scale))
         ue_cfg = systems.UE.configure(wl, ratio=half_ratio(scale))
         h2d = base_cfg.uvm.pcie_h2d_gbps
@@ -161,9 +207,18 @@ def run_bandwidth(scale: str = "tiny", workload: str = "BFS-TTC") -> ExperimentR
         ue_cfg = replace(
             ue_cfg, uvm=replace(ue_cfg.uvm, pcie_d2h_gbps=h2d * d2h_factor)
         )
+        configs[d2h_factor] = (base_cfg, ue_cfg)
+    _prewarm(
+        [(workload, cfg) for pair in configs.values() for cfg in pair],
+        scale,
+        "abl-bandwidth",
+    )
+    for d2h_factor in factors:
+        base_cfg, ue_cfg = configs[d2h_factor]
         result.add_row(
             f"d2h={d2h_factor:.2f}x",
-            ue_speedup=_run(wl, base_cfg) / _run(wl, ue_cfg),
+            ue_speedup=_run(workload, base_cfg, scale)
+            / _run(workload, ue_cfg, scale),
         )
     return result
 
@@ -177,12 +232,11 @@ def run_to_degree(scale: str = "tiny", workload: str = "BFS-TTC") -> ExperimentR
         notes="Degree 0 disables context switching entirely (pure UE).",
     )
     wl = build_workload(workload, scale=scale)
-    base_cycles = _run(
-        wl, systems.BASELINE.configure(wl, ratio=half_ratio(scale))
-    )
+    base_cfg = systems.BASELINE.configure(wl, ratio=half_ratio(scale))
+    configs: dict[int, object] = {}
     for degree in (0, 1, 2, 3):
         config = systems.TO_UE.configure(wl, ratio=half_ratio(scale))
-        config = replace(
+        configs[degree] = replace(
             config,
             to=replace(
                 config.to,
@@ -191,7 +245,15 @@ def run_to_degree(scale: str = "tiny", workload: str = "BFS-TTC") -> ExperimentR
                 max_extra_blocks=max(degree, 1),
             ),
         )
-        run_result = GpuUvmSimulator(wl, config).run(max_events=MAX_EVENTS)
+    _prewarm(
+        [(workload, base_cfg)]
+        + [(workload, cfg) for cfg in configs.values()],
+        scale,
+        "abl-to-degree",
+    )
+    base_cycles = _run(workload, base_cfg, scale)
+    for degree, config in configs.items():
+        run_result = run_config(workload, config, scale=scale)
         result.add_row(
             f"degree={degree}",
             speedup=base_cycles / run_result.exec_cycles,
@@ -216,18 +278,16 @@ def run_runahead(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> Experiment
             "baseline's (lower = bigger batches)."
         ),
     )
+    runs = run_matrix(
+        (systems.BASELINE, systems.RUNAHEAD, systems.TO),
+        workloads,
+        scale=scale,
+        label="abl-runahead",
+    )
     for name in workloads:
-        workload = build_workload(name, scale=scale)
-        ratio = half_ratio(scale)
-        base = GpuUvmSimulator(
-            workload, systems.BASELINE.configure(workload, ratio=ratio)
-        ).run(max_events=MAX_EVENTS)
-        runahead = GpuUvmSimulator(
-            workload, systems.RUNAHEAD.configure(workload, ratio=ratio)
-        ).run(max_events=MAX_EVENTS)
-        to = GpuUvmSimulator(
-            workload, systems.TO.configure(workload, ratio=ratio)
-        ).run(max_events=MAX_EVENTS)
+        base = runs[(name, systems.BASELINE.name)]
+        runahead = runs[(name, systems.RUNAHEAD.name)]
+        to = runs[(name, systems.TO.name)]
         base_batches = base.batch_stats.num_batches or 1
         result.add_row(
             name,

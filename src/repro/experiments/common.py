@@ -1,10 +1,38 @@
-"""Shared experiment plumbing: runs, caching, result tables."""
+"""Shared experiment plumbing: runs, caching, parallel fan-out, result tables.
+
+The experiment layer runs large matrices of independent simulation cells
+(``(preset, workload, ratio, fault-handling-time, seed)``); simulations are
+deterministic and share no state, so the cells can run concurrently and
+their results can be reused forever.  Two mechanisms exploit that:
+
+* **Persistent run cache** — every completed cell is written to
+  ``.repro-cache/`` (override with ``REPRO_CACHE_DIR`` or the CLI's
+  ``--cache-dir``), keyed by a stable hash of the full run parameters plus
+  a content fingerprint of the ``repro`` package source, so results
+  survive across CLI invocations and benchmark sessions and are
+  invalidated the moment the simulator changes.  Disable with
+  ``REPRO_CACHE=0``, ``--no-cache``, or :func:`set_cache_enabled`.
+* **Parallel fan-out** — :func:`run_cells` (and :func:`run_matrix` on top
+  of it) dispatches cache-missing cells to a ``ProcessPoolExecutor``.
+  Results are merged back by cell index, so a parallel run is
+  bit-identical to the serial one.  Select workers with ``--jobs``,
+  ``REPRO_JOBS``, or :func:`set_default_jobs` (default: serial).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import os
+import pathlib
+import pickle
+import sys
+import time as _time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Sequence
 
+from repro.gpu.config import SimConfig
 from repro.simulator import GpuUvmSimulator, SimulationResult
 from repro.systems import SystemPreset
 from repro.workloads.registry import SCALES, build_workload
@@ -98,14 +126,306 @@ def half_ratio(scale: str) -> float:
     return SCALES[scale].half_memory_ratio
 
 
-#: Completed runs, keyed by the full run parameters.  Simulations are
-#: deterministic, so sharing results across experiment modules (the CLI's
-#: ``all`` target, the benchmark session) is safe and saves minutes.
+# ----------------------------------------------------------------------
+# Run specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell: everything needed to (re)produce a run.
+
+    ``preset`` executes ``preset.configure(workload, ...)``; an explicit
+    ``config`` (ablations) bypasses the preset and runs the given
+    :class:`SimConfig` directly.  Exactly one of the two must be set.
+    """
+
+    workload: str
+    preset: SystemPreset | None = None
+    config: SimConfig | None = None
+    scale: str = "tiny"
+    ratio: float | None = None
+    fault_handling_cycles: int | None = None
+    seed: int = 0
+    max_events: int = MAX_EVENTS
+
+    def resolved(self) -> "RunSpec":
+        """Canonicalise so equal runs always produce equal cache keys:
+        upper-case the workload name (the registry is case-insensitive)
+        and fill the scale-calibrated default ratio."""
+        spec = self
+        if spec.workload != spec.workload.upper():
+            spec = replace(spec, workload=spec.workload.upper())
+        if spec.ratio is None and spec.config is None:
+            spec = replace(spec, ratio=half_ratio(spec.scale))
+        return spec
+
+
+def _memo_key(spec: RunSpec) -> tuple:
+    """In-process cache key (matches the legacy ``_RUN_CACHE`` key plus
+    ``max_events`` — a capped partial run must never satisfy a full one)."""
+    if spec.config is not None:
+        config_hash = hashlib.sha256(
+            repr(spec.config).encode()
+        ).hexdigest()
+        return (
+            "config",
+            config_hash,
+            spec.workload,
+            spec.scale,
+            spec.seed,
+            spec.max_events,
+        )
+    return (
+        spec.preset.name,
+        spec.workload,
+        spec.scale,
+        spec.ratio,
+        spec.fault_handling_cycles,
+        spec.seed,
+        spec.max_events,
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistent on-disk cache
+# ----------------------------------------------------------------------
+_CACHE_ENABLED = os.environ.get("REPRO_CACHE", "1") != "0"
+_CACHE_DIR: pathlib.Path | None = None
+_DEFAULT_JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1") or "1"))
+_PROGRESS = False
+
+#: Per-process counters for observability (see :func:`cache_stats`).
+CACHE_STATS = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable the persistent on-disk run cache."""
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = enabled
+
+
+def set_cache_dir(path: str | pathlib.Path | None) -> None:
+    """Override the cache directory (``None`` restores the default)."""
+    global _CACHE_DIR
+    _CACHE_DIR = pathlib.Path(path) if path is not None else None
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Default worker count for :func:`run_cells` / :func:`run_matrix`."""
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = max(1, int(jobs))
+
+
+def set_progress(enabled: bool) -> None:
+    """Toggle per-cell progress lines on stderr during fan-outs."""
+    global _PROGRESS
+    _PROGRESS = enabled
+
+
+def cache_dir() -> pathlib.Path:
+    """The active persistent-cache directory (not necessarily created)."""
+    if _CACHE_DIR is not None:
+        return _CACHE_DIR
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return pathlib.Path(env) if env else pathlib.Path(".repro-cache")
+
+
+def cache_stats() -> dict[str, int]:
+    """Snapshot of this process's cache counters."""
+    return dict(CACHE_STATS)
+
+
+def reset_cache_stats() -> None:
+    for key in CACHE_STATS:
+        CACHE_STATS[key] = 0
+
+
+@lru_cache(maxsize=1)
+def _code_fingerprint() -> str:
+    """Content hash of the ``repro`` package source.
+
+    Any change to the simulator invalidates every cached result, so a
+    stale cache can never masquerade as fresh output — even between
+    version bumps of a development tree.
+    """
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _cache_version() -> str:
+    from repro import __version__
+
+    return f"{__version__}/{_code_fingerprint()}"
+
+
+def _cache_path(key: tuple) -> pathlib.Path:
+    blob = repr((_cache_version(), key)).encode()
+    return cache_dir() / f"{hashlib.sha256(blob).hexdigest()[:40]}.pkl"
+
+
+def _disk_load(key: tuple) -> SimulationResult | None:
+    path = _cache_path(key)
+    try:
+        with open(path, "rb") as fh:
+            stored_key, result = pickle.load(fh)
+    except (OSError, pickle.PickleError, EOFError, ValueError):
+        return None
+    if stored_key != key or not isinstance(result, SimulationResult):
+        return None
+    return result
+
+
+def _disk_store(key: tuple, result: SimulationResult) -> None:
+    path = _cache_path(key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump((key, result), fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic: concurrent writers can't corrupt
+    except OSError:
+        pass  # caching is best-effort; an unwritable dir must not fail runs
+
+
+def clear_persistent_cache() -> int:
+    """Delete every entry in the active cache directory; return the count."""
+    removed = 0
+    directory = cache_dir()
+    if directory.is_dir():
+        for path in directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+#: Completed runs for this process, keyed by the full run parameters.
+#: Layered above the disk cache so repeated lookups return the *same*
+#: object (and cost nothing) within a session.
 _RUN_CACHE: dict[tuple, SimulationResult] = {}
 
 
 def clear_run_cache() -> None:
+    """Drop the in-process memo (the persistent cache is untouched)."""
     _RUN_CACHE.clear()
+
+
+def _cache_get(key: tuple, use_cache: bool) -> SimulationResult | None:
+    if not use_cache:
+        return None
+    if key in _RUN_CACHE:
+        CACHE_STATS["memory_hits"] += 1
+        return _RUN_CACHE[key]
+    if _CACHE_ENABLED:
+        result = _disk_load(key)
+        if result is not None:
+            CACHE_STATS["disk_hits"] += 1
+            _RUN_CACHE[key] = result
+            return result
+    return None
+
+
+def _cache_put(key: tuple, result: SimulationResult, use_cache: bool) -> None:
+    if not use_cache:
+        return
+    _RUN_CACHE[key] = result
+    if _CACHE_ENABLED:
+        _disk_store(key, result)
+
+
+# ----------------------------------------------------------------------
+# Cell execution
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=64)
+def _workload_cached(name: str, scale: str, seed: int) -> Workload:
+    """Per-process workload memo (traces are immutable, sharing is safe)."""
+    return build_workload(name, scale=scale, seed=seed)
+
+
+def _simulate_spec(spec: RunSpec) -> SimulationResult:
+    """Execute one cell from scratch.  Runs in worker processes too, so it
+    must stay a module-level function of picklable arguments."""
+    workload = _workload_cached(spec.workload, spec.scale, spec.seed)
+    if spec.config is not None:
+        config = spec.config
+    else:
+        config = spec.preset.configure(
+            workload,
+            ratio=spec.ratio,
+            fault_handling_cycles=spec.fault_handling_cycles,
+        )
+    return GpuUvmSimulator(workload, config).run(max_events=spec.max_events)
+
+
+def run_cells(
+    cells: Sequence[RunSpec],
+    jobs: int | None = None,
+    use_cache: bool = True,
+    label: str = "cells",
+) -> list[SimulationResult]:
+    """Run every cell, in parallel for cache misses; results keep order.
+
+    The fan-out is transparent: each missing cell runs exactly the
+    simulation the serial path would (same parameters, same seeds, fresh
+    deterministic engine), and results are merged back by index — so
+    ``jobs=N`` output is bit-identical to ``jobs=1``.
+    """
+    cells = [cell.resolved() for cell in cells]
+    keys = [_memo_key(cell) for cell in cells]
+    results: list[SimulationResult | None] = [None] * len(cells)
+    pending: list[int] = []
+    for i, key in enumerate(keys):
+        hit = _cache_get(key, use_cache)
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+    CACHE_STATS["misses"] += len(pending)
+
+    jobs = _DEFAULT_JOBS if jobs is None else max(1, int(jobs))
+    started = _time.monotonic()
+    done = 0
+
+    def report(final: bool = False) -> None:
+        if not _PROGRESS:
+            return
+        elapsed = _time.monotonic() - started
+        end = "\n" if final else "\r"
+        sys.stderr.write(
+            f"  [{label}] {len(cells) - len(pending) + done}/{len(cells)} "
+            f"cells ({len(cells) - len(pending)} cached, "
+            f"{done} run, {elapsed:.1f}s){end}"
+        )
+        sys.stderr.flush()
+
+    report()
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_simulate_spec, cells[i]): i for i in pending
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+                done += 1
+                report()
+    else:
+        for i in pending:
+            results[i] = _simulate_spec(cells[i])
+            done += 1
+            report()
+    if cells:
+        report(final=True)
+
+    for i in pending:
+        _cache_put(keys[i], results[i], use_cache)
+    return results  # type: ignore[return-value]
 
 
 def run_system(
@@ -119,19 +439,59 @@ def run_system(
     use_cache: bool = True,
 ) -> SimulationResult:
     """Build (or reuse) a workload and run it under ``preset``."""
+    name = workload if isinstance(workload, str) else workload.name
+    spec = RunSpec(
+        workload=name,
+        preset=preset,
+        scale=scale,
+        ratio=ratio,
+        fault_handling_cycles=fault_handling_cycles,
+        seed=seed,
+        max_events=max_events,
+    ).resolved()
+    key = _memo_key(spec)
+    hit = _cache_get(key, use_cache)
+    if hit is not None:
+        return hit
+    CACHE_STATS["misses"] += 1
     if isinstance(workload, str):
-        workload = build_workload(workload, scale=scale, seed=seed)
-    if ratio is None:
-        ratio = half_ratio(scale)
-    key = (preset.name, workload.name, scale, ratio, fault_handling_cycles, seed)
-    if use_cache and key in _RUN_CACHE:
-        return _RUN_CACHE[key]
+        workload = _workload_cached(name, scale, seed)
     config = preset.configure(
-        workload, ratio=ratio, fault_handling_cycles=fault_handling_cycles
+        workload, ratio=spec.ratio, fault_handling_cycles=fault_handling_cycles
     )
     result = GpuUvmSimulator(workload, config).run(max_events=max_events)
-    if use_cache:
-        _RUN_CACHE[key] = result
+    _cache_put(key, result, use_cache)
+    return result
+
+
+def run_config(
+    workload: Workload | str,
+    config: SimConfig,
+    scale: str = "tiny",
+    seed: int = 0,
+    max_events: int = MAX_EVENTS,
+    use_cache: bool = True,
+) -> SimulationResult:
+    """Run an explicit :class:`SimConfig` (ablations) through the cache.
+
+    The cache key hashes the full config contents, so two distinct
+    configs never collide even if they came from the same preset.
+    """
+    name = workload if isinstance(workload, str) else workload.name
+    spec = RunSpec(
+        workload=name,
+        config=config,
+        scale=scale,
+        seed=seed,
+        max_events=max_events,
+    ).resolved()
+    key = _memo_key(spec)
+    hit = _cache_get(key, use_cache)
+    if hit is not None:
+        return hit
+    CACHE_STATS["misses"] += 1
+    result = _simulate_spec(spec)
+    _cache_put(key, result, use_cache)
     return result
 
 
@@ -140,14 +500,34 @@ def run_matrix(
     workloads: Sequence[str],
     scale: str,
     ratio: float | None = None,
+    jobs: int | None = None,
+    label: str | None = None,
     **kwargs,
 ) -> dict[tuple[str, str], SimulationResult]:
-    """Run every (workload, preset) pair; keys are (workload, preset.name)."""
-    results: dict[tuple[str, str], SimulationResult] = {}
-    for name in workloads:
-        workload = build_workload(name, scale=scale)
-        for preset in presets:
-            results[(name, preset.name)] = run_system(
-                preset, workload, scale=scale, ratio=ratio, **kwargs
-            )
-    return results
+    """Run every (workload, preset) pair; keys are (workload, preset.name).
+
+    Cells missing from the cache fan out across ``jobs`` worker processes
+    (default: :func:`set_default_jobs` / ``REPRO_JOBS``, i.e. serial).
+    """
+    use_cache = kwargs.pop("use_cache", True)
+    cells = [
+        RunSpec(
+            workload=name,
+            preset=preset,
+            scale=scale,
+            ratio=ratio,
+            **kwargs,
+        )
+        for name in workloads
+        for preset in presets
+    ]
+    results = run_cells(
+        cells,
+        jobs=jobs,
+        use_cache=use_cache,
+        label=label or "matrix",
+    )
+    return {
+        (cell.workload, cell.preset.name): result
+        for cell, result in zip(cells, results)
+    }

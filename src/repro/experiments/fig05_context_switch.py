@@ -17,9 +17,8 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
-    run_system,
+    run_matrix,
 )
-from repro.workloads.registry import build_workload
 
 EXPECTATION = (
     "Context-switched extra blocks degrade traditional (fully resident) "
@@ -37,12 +36,16 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS) -> ExperimentResult:
         columns=["relative_perf", "context_switches"],
         notes=EXPECTATION,
     )
+    runs = run_matrix(
+        (systems.UNLIMITED, systems.FORCED_OVERSUBSCRIPTION),
+        workloads,
+        scale=scale,
+        ratio=1.0,
+        label="fig5",
+    )
     for name in workloads:
-        workload = build_workload(name, scale=scale)
-        plain = run_system(systems.UNLIMITED, workload, scale=scale, ratio=1.0)
-        forced = run_system(
-            systems.FORCED_OVERSUBSCRIPTION, workload, scale=scale, ratio=1.0
-        )
+        plain = runs[(name, systems.UNLIMITED.name)]
+        forced = runs[(name, systems.FORCED_OVERSUBSCRIPTION.name)]
         result.add_row(
             name,
             relative_perf=plain.exec_cycles / forced.exec_cycles

@@ -13,9 +13,8 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
-    run_system,
+    run_matrix,
 )
-from repro.workloads.registry import build_workload
 
 EXPECTATION = (
     "TO+UE is the fastest system on average (~2x over the prefetching "
@@ -41,18 +40,16 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
         columns=columns,
         notes=EXPECTATION,
     )
+    runs = run_matrix(
+        SYSTEM_ORDER, workloads, scale=scale, ratio=ratio, label="fig11"
+    )
     for name in workloads:
-        workload = build_workload(name, scale=scale)
-        runs = {
-            preset.name: run_system(preset, workload, scale=scale, ratio=ratio)
-            for preset in SYSTEM_ORDER
-        }
-        base_cycles = runs["BASELINE"].exec_cycles
+        base_cycles = runs[(name, "BASELINE")].exec_cycles
         result.add_row(
             name,
             **{
-                sys_name: base_cycles / run.exec_cycles
-                for sys_name, run in runs.items()
+                preset.name: base_cycles / runs[(name, preset.name)].exec_cycles
+                for preset in SYSTEM_ORDER
             },
         )
     result.add_row(

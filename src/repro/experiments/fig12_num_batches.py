@@ -11,9 +11,8 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
-    run_system,
+    run_matrix,
 )
-from repro.workloads.registry import build_workload
 
 EXPECTATION = (
     "TO cuts the total number of batches substantially (paper: -51% on "
@@ -28,10 +27,16 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
         columns=["baseline", "to", "relative_pct"],
         notes=EXPECTATION,
     )
+    runs = run_matrix(
+        (systems.BASELINE, systems.TO),
+        workloads,
+        scale=scale,
+        ratio=ratio,
+        label="fig12",
+    )
     for name in workloads:
-        workload = build_workload(name, scale=scale)
-        base = run_system(systems.BASELINE, workload, scale=scale, ratio=ratio)
-        to = run_system(systems.TO, workload, scale=scale, ratio=ratio)
+        base = runs[(name, systems.BASELINE.name)]
+        to = runs[(name, systems.TO.name)]
         base_n = base.batch_stats.num_batches
         to_n = to.batch_stats.num_batches
         result.add_row(

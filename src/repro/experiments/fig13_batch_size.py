@@ -10,9 +10,8 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
-    run_system,
+    run_matrix,
 )
-from repro.workloads.registry import build_workload
 
 EXPECTATION = "TO grows the average batch size (paper: 2.27x on average)."
 
@@ -24,10 +23,16 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
         columns=["baseline_pages", "to_pages", "relative_pct"],
         notes=EXPECTATION,
     )
+    runs = run_matrix(
+        (systems.BASELINE, systems.TO),
+        workloads,
+        scale=scale,
+        ratio=ratio,
+        label="fig13",
+    )
     for name in workloads:
-        workload = build_workload(name, scale=scale)
-        base = run_system(systems.BASELINE, workload, scale=scale, ratio=ratio)
-        to = run_system(systems.TO, workload, scale=scale, ratio=ratio)
+        base = runs[(name, systems.BASELINE.name)]
+        to = runs[(name, systems.TO.name)]
         base_pages = base.batch_stats.mean_batch_pages
         to_pages = to.batch_stats.mean_batch_pages
         result.add_row(

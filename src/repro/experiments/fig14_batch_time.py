@@ -12,9 +12,8 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
-    run_system,
+    run_matrix,
 )
-from repro.workloads.registry import build_workload
 
 EXPECTATION = (
     "TO increases the average batch processing time (bigger batches); "
@@ -32,11 +31,17 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
         columns=["baseline", "to", "to_ue"],
         notes=EXPECTATION,
     )
+    runs = run_matrix(
+        (systems.BASELINE, systems.TO, systems.TO_UE),
+        workloads,
+        scale=scale,
+        ratio=ratio,
+        label="fig14",
+    )
     for name in workloads:
-        workload = build_workload(name, scale=scale)
-        base = run_system(systems.BASELINE, workload, scale=scale, ratio=ratio)
-        to = run_system(systems.TO, workload, scale=scale, ratio=ratio)
-        to_ue = run_system(systems.TO_UE, workload, scale=scale, ratio=ratio)
+        base = runs[(name, systems.BASELINE.name)]
+        to = runs[(name, systems.TO.name)]
+        to_ue = runs[(name, systems.TO_UE.name)]
         base_time = base.batch_stats.mean_processing_time or 1.0
         result.add_row(
             name,

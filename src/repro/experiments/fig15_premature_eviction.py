@@ -14,9 +14,8 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
-    run_system,
+    run_matrix,
 )
-from repro.workloads.registry import build_workload
 
 EXPECTATION = (
     "Premature eviction rates under TO stay close to (and for several "
@@ -32,10 +31,16 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
         columns=["baseline_pct", "to_pct"],
         notes=EXPECTATION,
     )
+    runs = run_matrix(
+        (systems.BASELINE, systems.TO),
+        workloads,
+        scale=scale,
+        ratio=ratio,
+        label="fig15",
+    )
     for name in workloads:
-        workload = build_workload(name, scale=scale)
-        base = run_system(systems.BASELINE, workload, scale=scale, ratio=ratio)
-        to = run_system(systems.TO, workload, scale=scale, ratio=ratio)
+        base = runs[(name, systems.BASELINE.name)]
+        to = runs[(name, systems.TO.name)]
         result.add_row(
             name,
             baseline_pct=100.0 * base.premature_eviction_rate,

@@ -12,7 +12,7 @@ width proportional to the page size so the bucket *count* is comparable.
 from __future__ import annotations
 
 from repro import systems
-from repro.experiments.common import ExperimentResult, run_system
+from repro.experiments.common import ExperimentResult, run_matrix
 from repro.workloads.registry import build_workload
 
 EXPECTATION = (
@@ -32,8 +32,15 @@ def run(scale: str = "tiny", workload: str = "BFS-TTC", ratio=None,
     bucket_pages = max(4, min(bucket_pages, max(4, wl.footprint_pages // 8)))
     bucket_bytes = bucket_pages * page_size
 
-    base = run_system(systems.BASELINE, wl, scale=scale, ratio=ratio)
-    to = run_system(systems.TO, wl, scale=scale, ratio=ratio)
+    runs = run_matrix(
+        (systems.BASELINE, systems.TO),
+        [workload],
+        scale=scale,
+        ratio=ratio,
+        label="fig16",
+    )
+    base = runs[(workload, systems.BASELINE.name)]
+    to = runs[(workload, systems.TO.name)]
 
     base_dist = base.batch_stats.size_distribution(bucket_bytes)
     to_dist = to.batch_stats.size_distribution(bucket_bytes)

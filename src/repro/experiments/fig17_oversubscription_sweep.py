@@ -11,8 +11,12 @@ Sweeping the GPU memory capacity from 10% of the footprint to 100%:
 from __future__ import annotations
 
 from repro import systems
-from repro.experiments.common import ExperimentResult, run_system
-from repro.workloads.registry import build_workload
+from repro.experiments.common import (
+    ExperimentResult,
+    RunSpec,
+    run_cells,
+    run_system,
+)
 
 EXPECTATION = (
     "Relative execution time rises monotonically as memory shrinks; UE's "
@@ -24,7 +28,7 @@ RATIOS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 
 def run(scale: str = "tiny", workload: str = "BFS-TTC", ratios=RATIOS) -> ExperimentResult:
-    wl = build_workload(workload, scale=scale)
+    wl = workload
     result = ExperimentResult(
         experiment="fig17",
         title=(
@@ -32,6 +36,16 @@ def run(scale: str = "tiny", workload: str = "BFS-TTC", ratios=RATIOS) -> Experi
         ),
         columns=["relative_exec_time", "ue_speedup"],
         notes=EXPECTATION,
+    )
+    # Fan out the whole ratio sweep; the loop below reads cache hits.
+    run_cells(
+        [RunSpec(wl, preset=systems.BASELINE, scale=scale, ratio=1.0)]
+        + [
+            RunSpec(wl, preset=preset, scale=scale, ratio=ratio)
+            for ratio in ratios
+            for preset in (systems.BASELINE, systems.UE)
+        ],
+        label="fig17",
     )
     full = run_system(systems.BASELINE, wl, scale=scale, ratio=1.0)
     for ratio in ratios:

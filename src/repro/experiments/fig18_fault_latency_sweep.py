@@ -17,8 +17,12 @@ EXPERIMENTS.md).
 from __future__ import annotations
 
 from repro import systems
-from repro.experiments.common import ExperimentResult, run_system
-from repro.workloads.registry import build_workload
+from repro.experiments.common import (
+    ExperimentResult,
+    RunSpec,
+    run_cells,
+    run_system,
+)
 
 EXPECTATION = (
     "TO's speedup over the baseline increases monotonically with the GPU "
@@ -44,12 +48,29 @@ def run(
         columns=["to", "ue", "to_ue"],
         notes=EXPECTATION,
     )
+    presets = (systems.BASELINE, systems.TO, systems.UE, systems.TO_UE)
+    # Fan out the full (fht, workload, system) cube; the loops below then
+    # read cache hits.
+    run_cells(
+        [
+            RunSpec(
+                name,
+                preset=preset,
+                scale=scale,
+                ratio=ratio,
+                fault_handling_cycles=fht,
+            )
+            for fht in fht_values
+            for name in workloads
+            for preset in presets
+        ],
+        label="fig18",
+    )
     for fht in fht_values:
         speedups = {"to": [], "ue": [], "to_ue": []}
         for name in workloads:
-            wl = build_workload(name, scale=scale)
             base = run_system(
-                systems.BASELINE, wl, scale=scale, ratio=ratio,
+                systems.BASELINE, name, scale=scale, ratio=ratio,
                 fault_handling_cycles=fht,
             )
             for key, preset in (
@@ -58,7 +79,7 @@ def run(
                 ("to_ue", systems.TO_UE),
             ):
                 run_result = run_system(
-                    preset, wl, scale=scale, ratio=ratio,
+                    preset, name, scale=scale, ratio=ratio,
                     fault_handling_cycles=fht,
                 )
                 speedups[key].append(base.exec_cycles / run_result.exec_cycles)

@@ -12,6 +12,7 @@ import time
 
 from repro.experiments import (
     ablations,
+    common,
     fig01_working_set,
     fig03_per_page_time,
     fig05_context_switch,
@@ -58,6 +59,22 @@ ABLATIONS = {
 }
 
 
+def expand_experiments(entries: list[str]) -> list[str]:
+    """Resolve the positional experiment list.
+
+    ``all`` expands to the figure/table set and unions with any ablations
+    (or extra figures) named alongside it, preserving order and deduping —
+    ``repro-experiments all abl-dirty`` runs everything plus abl-dirty.
+    """
+    names: list[str] = []
+    for entry in entries:
+        expansion = list(EXPERIMENTS) if entry == "all" else [entry]
+        for name in expansion:
+            if name not in names:
+                names.append(name)
+    return names
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -92,22 +109,61 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each rendered table to DIR/<experiment>.txt",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for independent simulation cells "
+            "(default: $REPRO_JOBS or serial; results are bit-identical "
+            "either way)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the persistent run cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent run cache location (default: $REPRO_CACHE_DIR "
+        "or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress per-cell progress lines on stderr",
+    )
     args = parser.parse_args(argv)
 
-    names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
+    names = expand_experiments(args.experiment)
     unknown = [
         n for n in names if n not in EXPERIMENTS and n not in ABLATIONS
     ]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    if args.jobs is not None:
+        common.set_default_jobs(args.jobs)
+    if args.no_cache:
+        common.set_cache_enabled(False)
+    if args.cache_dir:
+        common.set_cache_dir(args.cache_dir)
+    common.set_progress(not args.no_progress and sys.stderr.isatty())
+
     for name in names:
         runner = (
             EXPERIMENTS[name].run if name in EXPERIMENTS else ABLATIONS[name]
         )
+        before = common.cache_stats()
         start = time.time()
         result = runner(scale=args.scale)
         elapsed = time.time() - start
+        after = common.cache_stats()
         print(result.format_table())
         if args.output:
             import pathlib
@@ -122,7 +178,18 @@ def main(argv: list[str] | None = None) -> int:
 
             print()
             print(horizontal_bars(result))
-        print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+        ran = after["misses"] - before["misses"]
+        hits = (
+            after["memory_hits"]
+            + after["disk_hits"]
+            - before["memory_hits"]
+            - before["disk_hits"]
+        )
+        disk = after["disk_hits"] - before["disk_hits"]
+        print(
+            f"[{name} completed in {elapsed:.1f}s at scale={args.scale} — "
+            f"{ran} cells run, {hits} cache hits ({disk} from disk)]"
+        )
         print()
     return 0
 

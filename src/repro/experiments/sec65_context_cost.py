@@ -42,6 +42,10 @@ def run(scale: str = "tiny", workload: str = "BFS-TTC",
         columns=["exec_cycles", "normalised", "switch_cycles"],
         notes=EXPECTATION,
     )
+    # These runs stay outside the shared run cache / parallel fan-out: the
+    # cost-model override is injected on the simulator instance after
+    # construction, so a SimConfig cannot describe the run.  Four cells at
+    # one workload keeps this cheap anyway.
     runs = {}
     for multiplier in multipliers:
         config = systems.TO_UE.configure(wl, ratio=ratio)

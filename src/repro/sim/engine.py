@@ -47,12 +47,25 @@ class Engine:
         self.schedule_at(self.now + delay, callback)
 
     def schedule_at(self, time: int, callback: Callback) -> None:
-        """Schedule ``callback`` to fire at absolute cycle ``time``."""
+        """Schedule ``callback`` to fire at absolute cycle ``time``.
+
+        ``time`` must be integral: truncating a fractional cycle would
+        silently reorder events relative to integer-cycle ones.  Integral
+        values of other numeric types (e.g. numpy integers) are accepted
+        and normalised.
+        """
+        if not isinstance(time, int):
+            as_int = int(time)
+            if as_int != time:
+                raise SimulationError(
+                    f"event times must be whole cycles (got {time!r})"
+                )
+            time = as_int
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
-        heapq.heappush(self._queue, (int(time), self._seq, callback))
+        heapq.heappush(self._queue, (time, self._seq, callback))
         self._seq += 1
 
     # ------------------------------------------------------------------
@@ -74,7 +87,11 @@ class Engine:
         """Run until the queue drains, ``until`` cycles pass, or ``max_events``.
 
         ``until`` is an absolute simulated time.  Events scheduled exactly at
-        ``until`` still fire; later events remain queued.
+        ``until`` still fire; later events remain queued.  When the run is
+        bounded by ``until`` the clock always advances to it — including
+        when the queue is empty or drains early — so ``run(until=N)`` is a
+        reliable "advance time to N" regardless of pending work.  A stop
+        caused by ``max_events`` leaves the clock at the last fired event.
         """
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
@@ -83,7 +100,6 @@ class Engine:
             processed = 0
             while self._queue:
                 if until is not None and self._queue[0][0] > until:
-                    self.now = until
                     break
                 if max_events is not None and processed >= max_events:
                     break
@@ -91,6 +107,9 @@ class Engine:
                 processed += 1
         finally:
             self._running = False
+        if until is not None and until > self.now:
+            if not self._queue or self._queue[0][0] > until:
+                self.now = until
 
     # ------------------------------------------------------------------
     # Introspection

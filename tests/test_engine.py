@@ -127,6 +127,54 @@ def test_run_not_reentrant():
     assert len(errors) == 1
 
 
+def test_run_until_advances_clock_on_empty_queue():
+    engine = Engine()
+    engine.run(until=40)
+    assert engine.now == 40
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(engine.now))
+    engine.run(until=50)
+    assert fired == [10]
+    assert engine.now == 50
+
+
+def test_run_until_is_monotonic_across_calls():
+    engine = Engine()
+    engine.run(until=30)
+    engine.run(until=20)  # an earlier bound never rewinds the clock
+    assert engine.now == 30
+
+
+def test_max_events_stop_does_not_jump_to_until():
+    engine = Engine()
+    for i in range(4):
+        engine.schedule(i, lambda: None)
+    engine.run(until=100, max_events=2)
+    assert engine.now == 1
+    assert engine.pending_events == 2
+
+
+def test_fractional_time_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(1.5, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule(0.25, lambda: None)
+
+
+def test_integral_float_time_normalised():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(3.0, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [3]
+    assert isinstance(engine.now, int)
+
+
 def test_zero_delay_event_fires_at_current_time():
     engine = Engine()
     times = []

@@ -1,0 +1,122 @@
+"""Parallel fan-out correctness: jobs=N must be bit-identical to serial."""
+
+import dataclasses
+
+import pytest
+
+from repro import systems
+from repro.experiments import common
+from repro.experiments.runner import ABLATIONS, EXPERIMENTS, expand_experiments
+
+WORKLOADS = ("KCORE", "PR")
+PRESETS = (systems.BASELINE, systems.TO)
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path):
+    common.clear_run_cache()
+    common.reset_cache_stats()
+    common.set_cache_dir(tmp_path / "a")
+    common.set_cache_enabled(True)
+    yield tmp_path
+    common.set_cache_dir(None)
+    common.clear_run_cache()
+
+
+def _result_fields(result):
+    return (
+        result.workload,
+        result.exec_cycles,
+        result.events_processed,
+        result.faults_raised,
+        result.migrated_pages,
+        result.prefetched_pages,
+        result.evicted_pages,
+        result.context_switches,
+        result.batch_stats.num_batches,
+        result.batch_stats.mean_batch_pages,
+    )
+
+
+class TestParallelEquality:
+    def test_parallel_matrix_matches_serial(self, isolated_cache):
+        serial = common.run_matrix(PRESETS, WORKLOADS, scale="tiny", jobs=1)
+
+        # Fresh memo and a fresh cache dir: the parallel run recomputes
+        # every cell in worker processes.
+        common.clear_run_cache()
+        common.set_cache_dir(isolated_cache / "b")
+        parallel = common.run_matrix(PRESETS, WORKLOADS, scale="tiny", jobs=2)
+
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert _result_fields(serial[key]) == _result_fields(
+                parallel[key]
+            ), f"parallel run diverged for {key}"
+
+    def test_run_cells_preserves_order(self, isolated_cache):
+        cells = [
+            common.RunSpec(name, preset=preset, scale="tiny")
+            for name in WORKLOADS
+            for preset in PRESETS
+        ]
+        results = common.run_cells(cells, jobs=2)
+        assert [r.workload for r in results] == [c.workload for c in cells]
+
+    def test_parallel_populates_shared_cache(self, isolated_cache):
+        common.run_matrix(PRESETS, ["KCORE"], scale="tiny", jobs=2)
+        first_misses = common.cache_stats()["misses"]
+        assert first_misses == len(PRESETS)
+        # A serial lookup of the same cells is now free.
+        common.run_matrix(PRESETS, ["KCORE"], scale="tiny", jobs=1)
+        assert common.cache_stats()["misses"] == first_misses
+
+    def test_default_jobs_setting(self, isolated_cache):
+        common.set_default_jobs(2)
+        try:
+            results = common.run_matrix(PRESETS, ["KCORE"], scale="tiny")
+            assert len(results) == len(PRESETS)
+        finally:
+            common.set_default_jobs(1)
+
+    def test_matrix_kwargs_reach_cells(self, isolated_cache):
+        runs = common.run_matrix(
+            (systems.BASELINE,),
+            ("KCORE",),
+            scale="tiny",
+            fault_handling_cycles=40_000,
+            jobs=2,
+        )
+        direct = common.run_system(
+            systems.BASELINE,
+            "KCORE",
+            scale="tiny",
+            fault_handling_cycles=40_000,
+        )
+        assert runs[("KCORE", "BASELINE")].exec_cycles == direct.exec_cycles
+
+
+class TestRunnerExpansion:
+    """Regression: ``all abl-dirty`` used to drop the named ablation."""
+
+    def test_all_alone(self):
+        assert expand_experiments(["all"]) == list(EXPERIMENTS)
+
+    def test_all_unions_with_named_ablation(self):
+        names = expand_experiments(["all", "abl-dirty"])
+        assert names[: len(EXPERIMENTS)] == list(EXPERIMENTS)
+        assert names[-1] == "abl-dirty"
+
+    def test_ablation_before_all_keeps_position(self):
+        names = expand_experiments(["abl-dirty", "all"])
+        assert names[0] == "abl-dirty"
+        assert set(names) == set(EXPERIMENTS) | {"abl-dirty"}
+
+    def test_duplicates_collapse(self):
+        assert expand_experiments(["fig11", "fig11", "all"]) == (
+            ["fig11"] + [n for n in EXPERIMENTS if n != "fig11"]
+        )
+
+    def test_every_ablation_is_addressable(self):
+        for name in ABLATIONS:
+            assert expand_experiments(["all", name])[-1] == name

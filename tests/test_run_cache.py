@@ -1,0 +1,150 @@
+"""Persistent run-cache behaviour: hits, invalidation, key coverage."""
+
+import dataclasses
+
+import pytest
+
+from repro import systems
+from repro.experiments import common
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    """Isolate the persistent cache in a temp dir with clean state."""
+    common.clear_run_cache()
+    common.reset_cache_stats()
+    common.set_cache_dir(tmp_path)
+    common.set_cache_enabled(True)
+    yield tmp_path
+    common.set_cache_dir(None)
+    common.set_cache_enabled(True)
+    common.clear_run_cache()
+
+
+def _run(**kwargs):
+    return common.run_system(systems.BASELINE, "KCORE", scale="tiny", **kwargs)
+
+
+class TestPersistentCache:
+    def test_result_survives_memo_clear(self, cache):
+        first = _run()
+        assert common.cache_stats()["misses"] == 1
+        assert list(cache.glob("*.pkl")), "no cache entry written"
+
+        common.clear_run_cache()  # drop the in-process memo only
+        second = _run()
+        stats = common.cache_stats()
+        assert stats["disk_hits"] == 1
+        assert stats["misses"] == 1, "disk hit must not re-run"
+        assert second is not first  # unpickled copy...
+        assert second.exec_cycles == first.exec_cycles  # ...same numbers
+        assert second.batch_stats.num_batches == first.batch_stats.num_batches
+
+    def test_memo_hit_returns_same_object(self, cache):
+        assert _run() is _run()
+
+    def test_param_change_misses(self, cache):
+        _run()
+        common.clear_run_cache()
+        _run(ratio=0.9)
+        assert common.cache_stats()["misses"] == 2
+
+    def test_code_version_change_invalidates(self, cache, monkeypatch):
+        first = _run()
+        common.clear_run_cache()
+        monkeypatch.setattr(common, "_cache_version", lambda: "other-code")
+        second = _run()
+        stats = common.cache_stats()
+        assert stats["disk_hits"] == 0
+        assert stats["misses"] == 2
+        assert second.exec_cycles == first.exec_cycles  # still deterministic
+
+    def test_no_cache_skips_read_and_write(self, cache):
+        a = _run(use_cache=False)
+        assert not list(cache.glob("*.pkl"))
+        b = _run(use_cache=False)
+        assert b is not a
+        assert common.cache_stats()["memory_hits"] == 0
+
+    def test_cache_disabled_globally(self, cache):
+        common.set_cache_enabled(False)
+        _run()
+        assert not list(cache.glob("*.pkl"))
+        # The in-process memo still works with the disk layer off.
+        assert _run() is not None
+        assert common.cache_stats()["memory_hits"] == 1
+
+    def test_clear_persistent_cache(self, cache):
+        _run()
+        assert common.clear_persistent_cache() >= 1
+        assert not list(cache.glob("*.pkl"))
+
+    def test_corrupt_entry_is_ignored(self, cache):
+        _run()
+        for path in cache.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        common.clear_run_cache()
+        result = _run()  # silently recomputes
+        assert result.exec_cycles > 0
+
+
+class TestCacheKey:
+    def test_max_events_is_part_of_the_key(self, cache):
+        """Regression for the missing-``max_events`` key bug: a cached
+        full run must not satisfy a lower-capped call — the capped call
+        still hits its cap (the simulator raises on incomplete runs)
+        instead of silently returning the full-run result."""
+        from repro.errors import SimulationError
+
+        full = _run()
+        with pytest.raises(SimulationError):
+            _run(max_events=200)
+        common.clear_run_cache()
+        full_again = _run()
+        assert full_again.events_processed == full.events_processed
+        assert full_again.exec_cycles == full.exec_cycles
+
+    def test_memo_key_distinguishes_all_parameters(self):
+        base = common.RunSpec("KCORE", preset=systems.BASELINE).resolved()
+        variants = [
+            dataclasses.replace(base, preset=systems.TO),
+            dataclasses.replace(base, workload="PR"),
+            dataclasses.replace(base, scale="small"),
+            dataclasses.replace(base, ratio=0.9),
+            dataclasses.replace(base, fault_handling_cycles=30_000),
+            dataclasses.replace(base, seed=1),
+            dataclasses.replace(base, max_events=1000),
+        ]
+        keys = {common._memo_key(spec) for spec in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_workload_name_is_case_insensitive(self):
+        upper = common.RunSpec("KCORE", preset=systems.BASELINE).resolved()
+        lower = common.RunSpec("kcore", preset=systems.BASELINE).resolved()
+        assert common._memo_key(upper) == common._memo_key(lower)
+
+    def test_distinct_configs_do_not_collide(self, cache):
+        from repro.workloads.registry import build_workload
+
+        wl = build_workload("KCORE", scale="tiny")
+        cfg_a = systems.BASELINE.configure(wl, ratio=common.half_ratio("tiny"))
+        cfg_b = dataclasses.replace(
+            cfg_a,
+            uvm=dataclasses.replace(cfg_a.uvm, prefetcher="none"),
+        )
+        a = common.run_config("KCORE", cfg_a, scale="tiny")
+        b = common.run_config("KCORE", cfg_b, scale="tiny")
+        assert common.cache_stats()["misses"] == 2
+        assert a.prefetched_pages > 0
+        assert b.prefetched_pages == 0
+
+    def test_run_config_hits_cache(self, cache):
+        from repro.workloads.registry import build_workload
+
+        wl = build_workload("KCORE", scale="tiny")
+        cfg = systems.BASELINE.configure(wl, ratio=common.half_ratio("tiny"))
+        first = common.run_config("KCORE", cfg, scale="tiny")
+        common.clear_run_cache()
+        second = common.run_config("KCORE", cfg, scale="tiny")
+        assert common.cache_stats()["disk_hits"] == 1
+        assert second.exec_cycles == first.exec_cycles
