@@ -11,9 +11,12 @@ Public API
 * :func:`~repro.workloads.registry.build_workload` — the 11 irregular and
   6 regular workloads at four scales.
 * :mod:`repro.experiments` — one module per paper figure/table.
+* :mod:`repro.obs` — span tracing, metric registry, and Perfetto/Chrome
+  trace export (see ``docs/observability.md``).
 """
 
-from repro import systems
+from repro import obs, systems
+from repro.obs import Observability
 from repro.gpu.config import EtcConfig, GpuConfig, SimConfig, ToConfig, UvmConfig
 from repro.sim.timeline import Timeline
 from repro.simulator import GpuUvmSimulator, SimulationResult, simulate
@@ -22,6 +25,8 @@ from repro.workloads.registry import SCALES, build_workload, workload_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
+    "Observability",
     "systems",
     "Timeline",
     "EtcConfig",

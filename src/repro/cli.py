@@ -1,0 +1,176 @@
+"""Single-run CLI: ``python -m repro WORKLOAD [options]``.
+
+Runs one workload under one system preset and — unlike the experiment
+runner, which aggregates matrices of cells — exposes the full
+observability layer for that single run:
+
+* ``--trace-out trace.json`` — Chrome trace-event JSON with batches, the
+  eviction stream, both DMA channels, and per-SM warp-stall lanes as
+  named tracks; open it at https://ui.perfetto.dev or ``chrome://tracing``.
+* ``--metrics-out metrics.json`` (or ``.csv``) — flat metric dump:
+  counters, gauges, and histograms with min/max/p50/p99 tails.
+* ``--report`` — the ``repro.obs.report`` text summary on stdout.
+* ``--obs off|light|full`` — instrumentation level (default ``full``;
+  ``off`` runs the exact un-instrumented hot path).
+
+Example::
+
+    python -m repro BC --scale tiny --system TO_UE \\
+        --trace-out trace.json --metrics-out metrics.json --report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import obs as obs_mod
+from repro import systems
+from repro.errors import ReproError
+from repro.sim.timeline import Timeline, render_batches
+from repro.simulator import GpuUvmSimulator
+from repro.workloads.registry import SCALES, build_workload, workload_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Run one workload under one system preset, with optional "
+            "trace/metric export (Perfetto / chrome://tracing compatible)."
+        ),
+    )
+    parser.add_argument(
+        "workload",
+        help=f"workload name ({', '.join(workload_names())})",
+    )
+    parser.add_argument(
+        "--system",
+        "-s",
+        default="TO_UE",
+        help="system preset (default: TO_UE; see repro.systems)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=sorted(SCALES),
+        help="workload scale (default: tiny)",
+    )
+    parser.add_argument(
+        "--ratio",
+        type=float,
+        default=None,
+        help=(
+            "GPU memory as a fraction of the workload footprint "
+            "(default: the scale's calibrated 50%% oversubscription)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="abort the run after this many engine events",
+    )
+    parser.add_argument(
+        "--obs",
+        choices=obs_mod.MODES,
+        default="full",
+        help=(
+            "instrumentation level (default: full; 'off' runs the "
+            "un-instrumented hot path)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-obs-events",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="ring-buffer capacity for trace events (default: 200000)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write Chrome trace-event JSON (Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metric registry as JSON (or CSV if PATH ends in .csv)",
+    )
+    parser.add_argument(
+        "--report",
+        "-r",
+        action="store_true",
+        help="print the repro.obs.report text summary",
+    )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the ASCII Figure-2 batch timeline",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    wants_obs_output = args.trace_out or args.metrics_out or args.report
+    if args.obs == "off" and wants_obs_output:
+        parser.error(
+            "--trace-out/--metrics-out/--report require --obs light or full"
+        )
+
+    try:
+        workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
+        preset = systems.by_name(args.system)
+        kwargs = {} if args.ratio is None else {"ratio": args.ratio}
+        config = preset.configure(workload, **kwargs)
+    except (KeyError, ReproError) as exc:
+        parser.error(str(exc).strip('"'))
+
+    obs = (
+        obs_mod.Observability(args.obs, max_trace_events=args.trace_obs_events)
+        if args.obs != "off"
+        else None
+    )
+    timeline = Timeline() if args.timeline else None
+
+    try:
+        result = GpuUvmSimulator(
+            workload, config, timeline=timeline, obs=obs
+        ).run(max_events=args.max_events)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(result.summary())
+    if timeline is not None:
+        print()
+        print(render_batches(timeline))
+    if obs is not None:
+        if args.report:
+            print()
+            print(obs.report())
+        if args.trace_out:
+            path = obs_mod.write_chrome_trace(obs.tracer, args.trace_out)
+            dropped = (
+                f" ({obs.tracer.dropped:,} events dropped beyond the ring)"
+                if obs.tracer.dropped
+                else ""
+            )
+            print(
+                f"trace: {len(obs.tracer.events):,} events -> {path}{dropped}"
+            )
+        if args.metrics_out:
+            if str(args.metrics_out).endswith(".csv"):
+                path = obs_mod.write_metrics_csv(obs.metrics, args.metrics_out)
+            else:
+                path = obs_mod.write_metrics_json(obs.metrics, args.metrics_out)
+            print(f"metrics: {len(obs.metrics)} series -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

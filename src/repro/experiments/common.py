@@ -28,11 +28,13 @@ import pickle
 import sys
 import time as _time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Sequence
 
 from repro.gpu.config import SimConfig
+from repro.obs import current as _obs_current
 from repro.simulator import GpuUvmSimulator, SimulationResult
 from repro.systems import SystemPreset
 from repro.workloads.registry import SCALES, build_workload
@@ -317,16 +319,24 @@ def clear_run_cache() -> None:
     _RUN_CACHE.clear()
 
 
+def _count_cache(outcome: str) -> None:
+    """Mirror one cache outcome into CACHE_STATS and the obs registry."""
+    CACHE_STATS[outcome] += 1
+    obs = _obs_current()
+    if obs is not None:
+        obs.metrics.counter("experiments.cache", outcome=outcome).inc()
+
+
 def _cache_get(key: tuple, use_cache: bool) -> SimulationResult | None:
     if not use_cache:
         return None
     if key in _RUN_CACHE:
-        CACHE_STATS["memory_hits"] += 1
+        _count_cache("memory_hits")
         return _RUN_CACHE[key]
     if _CACHE_ENABLED:
         result = _disk_load(key)
         if result is not None:
-            CACHE_STATS["disk_hits"] += 1
+            _count_cache("disk_hits")
             _RUN_CACHE[key] = result
             return result
     return None
@@ -347,6 +357,12 @@ def _cache_put(key: tuple, result: SimulationResult, use_cache: bool) -> None:
 def _workload_cached(name: str, scale: str, seed: int) -> Workload:
     """Per-process workload memo (traces are immutable, sharing is safe)."""
     return build_workload(name, scale=scale, seed=seed)
+
+
+def _cell_label(spec: RunSpec) -> str:
+    """Human-readable cell identity for harness spans."""
+    system = spec.preset.name if spec.preset is not None else "config"
+    return f"{spec.workload}/{system}@{spec.scale}"
 
 
 def _simulate_spec(spec: RunSpec) -> SimulationResult:
@@ -388,6 +404,11 @@ def run_cells(
         else:
             pending.append(i)
     CACHE_STATS["misses"] += len(pending)
+    obs = _obs_current()
+    if obs is not None and pending:
+        obs.metrics.counter("experiments.cache", outcome="misses").inc(
+            len(pending)
+        )
 
     jobs = _DEFAULT_JOBS if jobs is None else max(1, int(jobs))
     started = _time.monotonic()
@@ -407,7 +428,18 @@ def run_cells(
 
     report()
     if jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        # Worker processes have no obs session of their own: the fan-out
+        # is summarised as one harness span (per-cell sim tracing needs
+        # the serial path).
+        if obs is not None:
+            fan_out = obs.tracer.wall_span(
+                "experiments", f"{label} fan-out", cells=len(pending), jobs=jobs
+            )
+        else:
+            fan_out = nullcontext()
+        with fan_out, ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending))
+        ) as pool:
             futures = {
                 pool.submit(_simulate_spec, cells[i]): i for i in pending
             }
@@ -417,7 +449,13 @@ def run_cells(
                 report()
     else:
         for i in pending:
-            results[i] = _simulate_spec(cells[i])
+            if obs is not None:
+                with obs.tracer.wall_span(
+                    "experiments", _cell_label(cells[i]), group=label
+                ):
+                    results[i] = _simulate_spec(cells[i])
+            else:
+                results[i] = _simulate_spec(cells[i])
             done += 1
             report()
     if cells:
@@ -453,7 +491,7 @@ def run_system(
     hit = _cache_get(key, use_cache)
     if hit is not None:
         return hit
-    CACHE_STATS["misses"] += 1
+    _count_cache("misses")
     if isinstance(workload, str):
         workload = _workload_cached(name, scale, seed)
     config = preset.configure(
@@ -489,7 +527,7 @@ def run_config(
     hit = _cache_get(key, use_cache)
     if hit is not None:
         return hit
-    CACHE_STATS["misses"] += 1
+    _count_cache("misses")
     result = _simulate_spec(spec)
     _cache_put(key, result, use_cache)
     return result

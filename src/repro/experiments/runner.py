@@ -10,6 +10,7 @@ import argparse
 import sys
 import time
 
+from repro import obs as obs_mod
 from repro.experiments import (
     ablations,
     common,
@@ -138,6 +139,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress per-cell progress lines on stderr",
     )
+    parser.add_argument(
+        "--obs",
+        choices=obs_mod.MODES,
+        default="off",
+        help=(
+            "observability level for this invocation (default: off; "
+            "implied 'full' when --trace-out/--metrics-out is given)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "write a Chrome trace-event JSON of the session: harness "
+            "per-cell spans plus full sim tracks for every cell executed "
+            "in-process (Perfetto-loadable)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the session metric registry as JSON (CSV if PATH ends "
+        "in .csv)",
+    )
     args = parser.parse_args(argv)
 
     names = expand_experiments(args.experiment)
@@ -155,42 +180,76 @@ def main(argv: list[str] | None = None) -> int:
         common.set_cache_dir(args.cache_dir)
     common.set_progress(not args.no_progress and sys.stderr.isatty())
 
-    for name in names:
-        runner = (
-            EXPERIMENTS[name].run if name in EXPERIMENTS else ABLATIONS[name]
-        )
-        before = common.cache_stats()
-        start = time.time()
-        result = runner(scale=args.scale)
-        elapsed = time.time() - start
-        after = common.cache_stats()
-        print(result.format_table())
-        if args.output:
-            import pathlib
-
-            out_dir = pathlib.Path(args.output)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / f"{result.experiment}.txt").write_text(
-                result.format_table() + "\n"
-            )
-        if args.chart:
-            from repro.experiments.charts import horizontal_bars
-
-            print()
-            print(horizontal_bars(result))
-        ran = after["misses"] - before["misses"]
-        hits = (
-            after["memory_hits"]
-            + after["disk_hits"]
-            - before["memory_hits"]
-            - before["disk_hits"]
-        )
-        disk = after["disk_hits"] - before["disk_hits"]
+    obs_mode = args.obs
+    if obs_mode == "off" and (args.trace_out or args.metrics_out):
+        obs_mode = "full"
+    obs = None if obs_mode == "off" else obs_mod.Observability(obs_mode)
+    previous_obs = obs_mod.install(obs) if obs is not None else None
+    if obs is not None and (args.jobs or 0) > 1 and args.trace_out:
         print(
-            f"[{name} completed in {elapsed:.1f}s at scale={args.scale} — "
-            f"{ran} cells run, {hits} cache hits ({disk} from disk)]"
+            "note: cells dispatched to worker processes appear as one "
+            "fan-out span; run with --jobs 1 for full per-cell sim tracks",
+            file=sys.stderr,
         )
-        print()
+
+    try:
+        for name in names:
+            runner = (
+                EXPERIMENTS[name].run if name in EXPERIMENTS else ABLATIONS[name]
+            )
+            before = common.cache_stats()
+            start = time.time()
+            if obs is not None:
+                with obs.tracer.wall_span("experiments", name, scale=args.scale):
+                    result = runner(scale=args.scale)
+            else:
+                result = runner(scale=args.scale)
+            elapsed = time.time() - start
+            after = common.cache_stats()
+            print(result.format_table())
+            if args.output:
+                import pathlib
+
+                out_dir = pathlib.Path(args.output)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / f"{result.experiment}.txt").write_text(
+                    result.format_table() + "\n"
+                )
+            if args.chart:
+                from repro.experiments.charts import horizontal_bars
+
+                print()
+                print(horizontal_bars(result))
+            ran = after["misses"] - before["misses"]
+            hits = (
+                after["memory_hits"]
+                + after["disk_hits"]
+                - before["memory_hits"]
+                - before["disk_hits"]
+            )
+            disk = after["disk_hits"] - before["disk_hits"]
+            print(
+                f"[{name} completed in {elapsed:.1f}s at scale={args.scale} — "
+                f"{ran} cells run, {hits} cache hits ({disk} from disk)]"
+            )
+            print()
+        if obs is not None:
+            if args.trace_out:
+                path = obs_mod.write_chrome_trace(obs.tracer, args.trace_out)
+                print(f"trace: {len(obs.tracer.events):,} events -> {path}")
+            if args.metrics_out:
+                if str(args.metrics_out).endswith(".csv"):
+                    path = obs_mod.write_metrics_csv(
+                        obs.metrics, args.metrics_out
+                    )
+                else:
+                    path = obs_mod.write_metrics_json(
+                        obs.metrics, args.metrics_out
+                    )
+                print(f"metrics: {len(obs.metrics)} series -> {path}")
+    finally:
+        if obs is not None:
+            obs_mod.install(previous_obs)
     return 0
 
 

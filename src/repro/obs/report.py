@@ -1,0 +1,91 @@
+"""Human-readable text summary of one observability session.
+
+``render_report`` digests the tracer (per-track span counts and busy
+time) and the metric registry (counters, gauges, histogram tails) into an
+aligned text block — the quick look you print after a run when you don't
+want to open the full trace in Perfetto.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracer import Tracer
+
+
+def _fmt(value: float) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"
+
+
+def _track_table(tracer: Tracer) -> list[str]:
+    scopes = tracer.scopes()
+    per_track: dict[tuple[int, str], dict[str, float]] = {}
+    for event in tracer.events:
+        row = per_track.setdefault(
+            (event.scope, event.track), {"spans": 0, "instants": 0, "busy": 0.0}
+        )
+        if event.ph == "X":
+            row["spans"] += 1
+            row["busy"] += event.dur or 0.0
+        elif event.ph == "B":
+            row["spans"] += 1
+        elif event.ph == "i":
+            row["instants"] += 1
+    if not per_track:
+        return ["  (no trace events recorded)"]
+    lines = [
+        f"  {'scope':<16} {'track':<16} {'spans':>8} {'instants':>9} "
+        f"{'busy':>14}"
+    ]
+    for (scope, track), row in sorted(per_track.items()):
+        label, domain = scopes[scope]
+        unit = "cycles" if domain == "sim" else "us"
+        lines.append(
+            f"  {label:<16} {track:<16} {int(row['spans']):>8} "
+            f"{int(row['instants']):>9} {row['busy']:>11,.0f} {unit}"
+        )
+    return lines
+
+
+def _metric_table(registry: MetricRegistry) -> list[str]:
+    if not len(registry):
+        return ["  (no metrics recorded)"]
+    lines = []
+    for metric in registry:
+        if metric.kind == "counter":
+            lines.append(f"  {metric.full_name:<44} {_fmt(metric.value):>14}")
+        elif metric.kind == "gauge":
+            peak = f" (peak {_fmt(metric.max)})" if metric.max is not None else ""
+            lines.append(
+                f"  {metric.full_name:<44} {_fmt(metric.value):>14}{peak}"
+            )
+        else:
+            lines.append(
+                f"  {metric.full_name:<44} "
+                f"n={metric.count} mean={_fmt(metric.mean)} "
+                f"min={_fmt(metric.min)} p50={_fmt(metric.percentile(50))} "
+                f"p99={_fmt(metric.percentile(99))} max={_fmt(metric.max)}"
+            )
+    return lines
+
+
+def render_report(tracer: Tracer, registry: MetricRegistry) -> str:
+    """Aligned text report over one tracer + registry pair."""
+    lines = ["observability report", "===================="]
+    lines.append("")
+    lines.append("tracks")
+    lines.append("------")
+    lines.extend(_track_table(tracer))
+    if tracer.dropped:
+        lines.append(
+            f"  ({tracer.dropped:,} trace events dropped beyond the "
+            f"{tracer.max_events:,}-event ring buffer)"
+        )
+    lines.append("")
+    lines.append("metrics")
+    lines.append("-------")
+    lines.extend(_metric_table(registry))
+    return "\n".join(lines)

@@ -36,6 +36,10 @@ class Engine:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        #: Optional :class:`repro.obs.Observability` session.  None (the
+        #: default) keeps the event loop un-instrumented: the only cost
+        #: is one ``is not None`` test per event.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -81,6 +85,10 @@ class Engine:
         self.now = time
         self._events_processed += 1
         callback()
+        obs = self.obs
+        if obs is not None and obs.full:
+            # Per-event-kind dispatch counts (kind = callback qualname).
+            obs.count_event(callback)
         return True
 
     def run(self, until: int | None = None, max_events: int | None = None) -> None:
@@ -96,6 +104,7 @@ class Engine:
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
+        start_time = self.now
         try:
             processed = 0
             while self._queue:
@@ -110,6 +119,10 @@ class Engine:
         if until is not None and until > self.now:
             if not self._queue or self._queue[0][0] > until:
                 self.now = until
+        if self.obs is not None and processed:
+            self.obs.tracer.complete(
+                "engine", "event loop", start_time, self.now, events=processed
+            )
 
     # ------------------------------------------------------------------
     # Introspection

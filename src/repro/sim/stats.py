@@ -66,18 +66,28 @@ class Histogram:
         ]
 
     def percentile(self, q: float) -> float:
-        """Approximate percentile (0..100) using bucket lower edges."""
+        """Approximate percentile (0..100), interpolated within buckets.
+
+        The returned value is clamped to the observed ``[min, max]`` range,
+        so ``percentile(100)`` reports the true maximum instead of the
+        containing bucket's lower edge.
+        """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be within [0, 100]")
         if not self.count:
             return 0.0
+        if q >= 100:
+            return self.max
         target = math.ceil(self.count * q / 100) or 1
         seen = 0
         for edge, n in self.sorted_buckets():
+            if seen + n >= target:
+                # Linear interpolation: the target-th sample sits at rank
+                # (target - seen) among this bucket's n samples.
+                value = edge + self.bucket_width * (target - seen - 1) / n
+                return min(max(value, self.min), self.max)
             seen += n
-            if seen >= target:
-                return edge
-        return self.sorted_buckets()[-1][0]
+        return self.max
 
 
 @dataclass
@@ -102,10 +112,19 @@ class StatsCollector:
         self.values[name] = value
 
     def snapshot(self) -> dict[str, float]:
-        """Flatten all statistics into a plain dict (counters + values)."""
+        """Flatten all statistics into a plain dict (counters + values).
+
+        Histograms export their tails too — ``.min/.max/.p50/.p99`` beside
+        ``.count/.mean`` — so experiment JSON captures tail behaviour, not
+        just central tendency.
+        """
         out: dict[str, float] = {n: c.value for n, c in self.counters.items()}
         out.update(self.values)
         for name, hist in self.histograms.items():
             out[f"{name}.count"] = hist.count
             out[f"{name}.mean"] = hist.mean
+            out[f"{name}.min"] = hist.min if hist.min is not None else 0.0
+            out[f"{name}.max"] = hist.max if hist.max is not None else 0.0
+            out[f"{name}.p50"] = hist.percentile(50)
+            out[f"{name}.p99"] = hist.percentile(99)
         return out

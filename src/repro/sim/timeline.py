@@ -12,6 +12,7 @@ lane per batch with the fault-handling window and the migration stream.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -38,6 +39,14 @@ class Timeline:
 
     def record(self, time: int, kind: str, detail: str = "", value: int = 0) -> None:
         if len(self.events) >= self.max_events:
+            if not self.dropped:
+                warnings.warn(
+                    f"Timeline reached max_events={self.max_events}; "
+                    "further events are dropped (see Timeline.dropped / "
+                    "summarize()['dropped'])",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self.dropped += 1
             return
         self.events.append(TimelineEvent(time, kind, detail, value))
@@ -112,8 +121,10 @@ def render_batches(
 
 
 def summarize(timeline: Timeline) -> dict[str, int]:
-    """Event counts per kind."""
+    """Event counts per kind, plus ``"dropped"`` when the cap was hit."""
     counts: dict[str, int] = {}
     for event in timeline.events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
+    if timeline.dropped:
+        counts["dropped"] = timeline.dropped
     return counts

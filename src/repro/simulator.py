@@ -33,6 +33,7 @@ from repro.gpu.occupancy import OccupancyCalculator
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.gpu.thread_block import BlockState, ThreadBlock
 from repro.gpu.warp import Warp, WarpState
+from repro.obs import current as _current_obs
 from repro.sim.engine import Engine
 from repro.uvm.compression import CapacityCompression
 from repro.uvm.eviction import make_eviction_strategy
@@ -116,12 +117,17 @@ class GpuUvmSimulator:
     """One workload under one system configuration."""
 
     def __init__(
-        self, workload: Workload, config: SimConfig, timeline=None
+        self, workload: Workload, config: SimConfig, timeline=None, obs=None
     ) -> None:
         self.workload = workload
         self.config = config
         self.timeline = timeline
+        #: The :class:`repro.obs.Observability` session instrumenting this
+        #: run: the one passed explicitly, else the globally installed one
+        #: (``repro.obs.configure``/``session``), else None — fully off.
+        self.obs = obs if obs is not None else _current_obs()
         self.engine = Engine()
+        self.engine.obs = self.obs
         self.page_shift = workload.address_space.page_shift
         if workload.address_space.page_size != config.uvm.page_size:
             raise SimulationError(
@@ -161,6 +167,9 @@ class GpuUvmSimulator:
         self.runtime.wake_warp = self._wake_warp
         self.runtime.on_evict = self._on_evict
         self.runtime.timeline = timeline
+        self.runtime.obs = self.obs
+        self.runtime.fault_buffer.obs = self.obs
+        self.pcie.attach_obs(self.obs)
 
         self.to_controller = ThreadOversubscriptionController(config.to)
         self.lifetime_monitor = PageLifetimeMonitor(
@@ -203,23 +212,34 @@ class GpuUvmSimulator:
         if self._ran:
             raise SimulationError("simulator instances are single-use")
         self._ran = True
-        if self.config.to.enabled:
-            self.lifetime_monitor.start()
-        self.engine.schedule(0, self._start_next_kernel)
-        self.engine.run(max_events=max_events)
-        if not self._done:
-            reason = (
-                f"event cap of {max_events} reached"
-                if self.engine.pending_events
-                else "event queue drained (deadlock)"
-            )
-            raise SimulationError(
-                f"simulation incomplete at cycle {self.engine.now} ({reason}): "
-                f"kernel {self._kernel_index}/{len(self.workload.kernels)}, "
-                f"{self._dispatcher.unfinished if self._dispatcher else '?'} "
-                "blocks unfinished"
-            )
-        return self._build_result()
+        previous_scope = None
+        if self.obs is not None:
+            # Each run gets its own scope (a named process group in the
+            # exported trace), so several runs in one obs session never
+            # interleave on the same tracks.
+            scope = self.obs.tracer.open_scope(self.workload.name)
+            previous_scope = self.obs.tracer.set_scope(scope)
+        try:
+            if self.config.to.enabled:
+                self.lifetime_monitor.start()
+            self.engine.schedule(0, self._start_next_kernel)
+            self.engine.run(max_events=max_events)
+            if not self._done:
+                reason = (
+                    f"event cap of {max_events} reached"
+                    if self.engine.pending_events
+                    else "event queue drained (deadlock)"
+                )
+                raise SimulationError(
+                    f"simulation incomplete at cycle {self.engine.now} ({reason}): "
+                    f"kernel {self._kernel_index}/{len(self.workload.kernels)}, "
+                    f"{self._dispatcher.unfinished if self._dispatcher else '?'} "
+                    "blocks unfinished"
+                )
+            return self._build_result()
+        finally:
+            if self.obs is not None:
+                self.obs.tracer.set_scope(previous_scope)
 
     # ------------------------------------------------------------------
     # Kernel lifecycle
@@ -287,9 +307,19 @@ class GpuUvmSimulator:
             self._dispatcher.top_up()
 
     def _on_kernel_done(self) -> None:
+        obs = self.obs
         for sm in self._sms:
             self._context_switches += sm.context_switches
             self._switch_cycles += sm.switch_cycles_spent
+            if obs is not None:
+                if sm.context_switches:
+                    obs.metrics.counter(
+                        "sm.context_switches", sm=sm.sm_id
+                    ).inc(sm.context_switches)
+                if sm.switch_cycles_spent:
+                    obs.metrics.counter(
+                        "sm.switch_cycles", sm=sm.sm_id
+                    ).inc(sm.switch_cycles_spent)
         self.engine.schedule(0, self._start_next_kernel)
 
     def _finish(self) -> None:
@@ -426,6 +456,21 @@ class GpuUvmSimulator:
             if sm.throttled:
                 sm.park(warp)
                 return
+            obs = self.obs
+            if obs is not None:
+                # Per-SM/warp stall attribution: the warp stalled on a
+                # fault at ``stall_start`` and resumes now.
+                now = self.engine.now
+                stalled = now - warp.stall_start
+                obs.tracer.complete(
+                    f"sm{sm.sm_id}",
+                    "warp stall",
+                    warp.stall_start,
+                    now,
+                    warp=warp.warp_id,
+                )
+                obs.metrics.counter("sm.stall_cycles", sm=sm.sm_id).inc(stalled)
+                obs.metrics.histogram("sm.warp_stall_cycles", 1000).record(stalled)
             # Replay the faulted access: re-issue the current op.  The
             # compute charged by _schedule_warp stands in for the fault
             # replay overhead.
@@ -442,13 +487,36 @@ class GpuUvmSimulator:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    def _flush_obs(self, result: SimulationResult) -> None:
+        """Final per-run aggregates into the session's metric registry."""
+        metrics = self.obs.metrics
+        name = result.workload
+        metrics.gauge("sim.exec_cycles", workload=name).set(result.exec_cycles)
+        metrics.gauge("sim.batches", workload=name).set(
+            result.batch_stats.num_batches
+        )
+        metrics.gauge("sim.warp_stall_cycles", workload=name).set(
+            result.warp_stall_cycles
+        )
+        metrics.gauge("sim.faults_raised", workload=name).set(result.faults_raised)
+        metrics.gauge("fault_buffer.peak_occupancy").set(
+            self.runtime.fault_buffer.peak_occupancy
+        )
+        for channel in (self.pcie.h2d, self.pcie.d2h):
+            metrics.counter("dma.pages", channel=channel.name).inc(
+                channel.pages_transferred
+            )
+            metrics.counter("dma.busy_cycles", channel=channel.name).inc(
+                channel.busy_cycles
+            )
+
     def _build_result(self) -> SimulationResult:
         stats = self.runtime.batch_stats
         l1_hits = sum(t.hits for t in self.mmu.l1_tlbs)
         l1_total = l1_hits + sum(t.misses for t in self.mmu.l1_tlbs)
         l1d_hits = sum(c.hits for c in self.caches.l1)
         l1d_total = l1d_hits + sum(c.misses for c in self.caches.l1)
-        return SimulationResult(
+        result = SimulationResult(
             workload=self.workload.name,
             exec_cycles=self._completion_cycles,
             batch_stats=stats,
@@ -477,6 +545,9 @@ class GpuUvmSimulator:
                 "runahead_faults": self._runahead_faults,
             },
         )
+        if self.obs is not None:
+            self._flush_obs(result)
+        return result
 
 
 def simulate(workload: Workload, config: SimConfig) -> SimulationResult:

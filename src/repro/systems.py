@@ -211,7 +211,16 @@ ALL_SYSTEMS = FIGURE11_SYSTEMS + (
 
 
 def by_name(name: str) -> SystemPreset:
+    """Look up a preset by display name or attribute-style spelling.
+
+    Accepts ``"TO+UE"`` as well as ``"TO_UE"`` / ``"to-ue"`` — ``+`` and
+    ``-`` in display names map to ``_`` so shell users need no quoting.
+    """
+
+    def canon(text: str) -> str:
+        return text.upper().replace("+", "_").replace("-", "_")
+
     for preset in ALL_SYSTEMS:
-        if preset.name == name.upper():
+        if canon(preset.name) == canon(name):
             return preset
     raise KeyError(f"unknown system preset {name!r}")

@@ -44,6 +44,32 @@ class EvictionPlan:
     #: runtime fault handling time).
     first_migration_start: int | None = None
 
+    # ------------------------------------------------------------------
+    # Eviction-pipeline accounting (observability layer)
+    # ------------------------------------------------------------------
+    def eviction_busy_cycles(self) -> int:
+        """Total cycles the D2H channel spends on this plan's evictions."""
+        return sum(finish - start for start, finish in self.evictions)
+
+    def eviction_window_cycles(self) -> int:
+        """Span from the first eviction's start to the last one's finish."""
+        if not self.evictions:
+            return 0
+        return max(f for _, f in self.evictions) - min(s for s, _ in self.evictions)
+
+    def eviction_occupancy(self) -> float:
+        """Busy fraction of the eviction window (1.0 = perfectly pipelined).
+
+        A plan whose evictions are back-to-back on the D2H channel scores
+        1.0; serialized plans interleaved with migrations score lower.
+        Zero-length windows (no evictions, or ideal zero-cost evictions)
+        report 1.0 — the pipeline was never a bottleneck.
+        """
+        window = self.eviction_window_cycles()
+        if window <= 0:
+            return 1.0
+        return min(1.0, self.eviction_busy_cycles() / window)
+
 
 class EvictionStrategy:
     """Base class; subclasses implement :meth:`schedule`."""

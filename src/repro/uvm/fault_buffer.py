@@ -40,6 +40,9 @@ class FaultBuffer:
         self.total_faults = 0
         self.overflow_faults = 0
         self.peak_occupancy = 0
+        #: Optional :class:`repro.obs.Observability` session (occupancy
+        #: gauge, overflow markers); None keeps push/drain un-instrumented.
+        self.obs = None
 
     def push(self, entry: FaultEntry) -> bool:
         """Append a fault entry; returns False when the buffer is full.
@@ -50,12 +53,21 @@ class FaultBuffer:
         the overflow for statistics.
         """
         self.total_faults += 1
+        obs = self.obs
         if len(self._entries) >= self.capacity:
             self.overflow_faults += 1
+            if obs is not None:
+                obs.metrics.counter("fault_buffer.overflows").inc()
+                if obs.full:
+                    obs.tracer.instant(
+                        "fault_buffer", "overflow", entry.time, page=entry.page
+                    )
             return False
         self._entries.append(entry)
         self._pages.add(entry.page)
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        if obs is not None and obs.full:
+            obs.metrics.gauge("fault_buffer.occupancy").set(len(self._entries))
         return True
 
     def drain(self) -> list[FaultEntry]:
@@ -63,6 +75,13 @@ class FaultBuffer:
         entries = self._entries
         self._entries = []
         self._pages = set()
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.histogram("fault_buffer.drained_entries", 16).record(
+                len(entries)
+            )
+            if obs.full:
+                obs.metrics.gauge("fault_buffer.occupancy").set(0)
         return entries
 
     def contains_page(self, page: int) -> bool:

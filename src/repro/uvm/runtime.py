@@ -76,6 +76,13 @@ class UvmRuntime:
         #: Optional :class:`repro.sim.timeline.Timeline` receiving batch
         #: lifecycle events for Figure-2-style rendering.
         self.timeline = None
+        #: Optional :class:`repro.obs.Observability` session (batch
+        #: lifecycle spans, fault→arrival latency histograms, eviction
+        #: markers).  None keeps the fault/migration path un-instrumented.
+        self.obs = None
+        #: First-fault time per in-flight page, for the fault→arrival
+        #: latency histogram; populated only while ``obs`` is attached.
+        self._fault_times: dict[int, int] = {}
 
         # Lifetime counters.
         self.faults_raised = 0
@@ -98,6 +105,8 @@ class UvmRuntime:
         if new_page:
             self._waiters[page] = []
             self.memory.on_fault(page)
+            if self.obs is not None:
+                self._fault_times[page] = self.engine.now
         if warp is not None:
             self._waiters[page].append(warp)
         self.fault_buffer.push(FaultEntry(page, warp, self.engine.now))
@@ -200,6 +209,26 @@ class UvmRuntime:
                 "first_migration",
                 value=record.index,
             )
+        obs = self.obs
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.counter("uvm.batches").inc()
+            metrics.counter("uvm.migrated_pages").inc(len(all_pages))
+            metrics.counter("uvm.prefetched_pages").inc(len(prefetched))
+            metrics.histogram("uvm.batch_pages", 8).record(len(all_pages))
+            metrics.histogram("uvm.fault_handling_cycles", 1000).record(fht)
+            if plan.evictions:
+                metrics.histogram("uvm.eviction_occupancy_pct", 5).record(
+                    plan.eviction_occupancy() * 100
+                )
+            obs.tracer.complete(
+                "batches",
+                f"fault handling {record.index}",
+                now,
+                record.first_migration_time,
+                entries=n_entries,
+                pages=len(all_pages),
+            )
 
     def _plan_evictions(
         self, needed: int, batch_pages: list[int]
@@ -280,6 +309,12 @@ class UvmRuntime:
             self.timeline.record(
                 self.engine.now, "evict_start", detail=f"{victim:#x}"
             )
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter("uvm.evictions").inc()
+            obs.tracer.instant(
+                "eviction", "evict", self.engine.now, page=f"{victim:#x}"
+            )
 
     def _release_frame(self) -> None:
         """The eviction's D2H transfer finished; the frame becomes free."""
@@ -311,6 +346,15 @@ class UvmRuntime:
         self.page_table.map(page, frame)
         if self.timeline is not None:
             self.timeline.record(now, "page_arrival", detail=f"{page:#x}")
+        obs = self.obs
+        if obs is not None:
+            fault_time = self._fault_times.pop(page, None)
+            if fault_time is not None:
+                obs.metrics.histogram("uvm.fault_to_arrival_cycles", 1000).record(
+                    now - fault_time
+                )
+            if obs.full:
+                obs.tracer.instant("uvm", "page arrival", now, page=f"{page:#x}")
         for warp in self._waiters.pop(page, ()):  # prefetched pages: no waiters
             if warp.page_arrived(page, now):
                 self.wake_warp(warp)
@@ -328,6 +372,21 @@ class UvmRuntime:
         self._busy = False
         if self.timeline is not None:
             self.timeline.record(self.engine.now, "batch_end", value=record.index)
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.histogram("uvm.batch_cycles", 1000).record(
+                record.end_time - record.begin_time
+            )
+            obs.tracer.complete(
+                "batches",
+                f"batch {record.index}",
+                record.begin_time,
+                record.end_time,
+                entries=record.fault_entries,
+                pages=record.demand_pages,
+                prefetched=record.prefetched_pages,
+                evicted=record.evicted_pages,
+            )
         self.on_batch_end(record)
         # Hardware fault replay: entries dropped on buffer overflow are
         # re-raised by the replaying MMU.  Any page that still has waiters,

@@ -30,6 +30,10 @@ class DmaChannel:
         self.busy_until = 0
         self.pages_transferred = 0
         self.busy_cycles = 0
+        #: Optional :class:`repro.obs.Observability` session; when set,
+        #: every transfer becomes a span on the ``dma.<name>`` track.
+        self.obs = None
+        self._track = f"dma.{name}"
 
     def enqueue(self, now: int, duration: int | None = None) -> tuple[int, int]:
         """Enqueue one page transfer at ``now``; return (start, finish)."""
@@ -39,6 +43,8 @@ class DmaChannel:
         self.busy_until = finish
         self.pages_transferred += 1
         self.busy_cycles += duration
+        if self.obs is not None:
+            self.obs.tracer.complete(self._track, "page transfer", start, finish)
         return start, finish
 
     def reset_clock(self) -> None:
@@ -74,6 +80,11 @@ class PcieModel:
         self.d2h = DmaChannel(
             "d2h", max(1, round(uvm.d2h_cycles_per_page() / ratio))
         )
+
+    def attach_obs(self, obs) -> None:
+        """Route both channels' transfer spans to an obs session."""
+        self.h2d.obs = obs
+        self.d2h.obs = obs
 
     @property
     def h2d_cycles_per_page(self) -> int:

@@ -1,0 +1,178 @@
+"""Tests for the exporters: Chrome trace schema, golden file, CSV/JSON."""
+
+import csv
+import json
+import pathlib
+
+from repro.obs.export import (
+    CSV_FIELDS,
+    chrome_trace,
+    chrome_trace_events,
+    metrics_dict,
+    render_chrome_trace,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracer import Tracer
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "obs_trace.json"
+
+
+def build_synthetic_tracer() -> Tracer:
+    """A deterministic, hand-built session (sim-domain only, no wall clock)."""
+    tr = Tracer(max_events=64)
+    run = tr.open_scope("BFS-TWC")
+    tr.set_scope(run)
+    tr.complete("batches", "fault handling 0", 0, 1200, entries=5, pages=5)
+    tr.complete("batches", "batch 0", 0, 4700, entries=5, pages=5)
+    tr.begin("engine", "event loop", 0)
+    tr.instant("eviction", "evict", 2500, page="0x1f000")
+    tr.complete("dma.h2d", "page transfer", 1200, 1460)
+    tr.complete("dma.h2d", "page transfer", 1460, 1720)
+    tr.complete("sm0", "warp stall", 300, 2980, warp=7)
+    tr.end("engine", 5000, events=42)
+    return tr
+
+
+def validate_chrome_events(events):
+    """Assert the minimal Chrome trace-event schema per phase type."""
+    assert events, "trace must not be empty"
+    for event in events:
+        assert {"ph", "name", "pid", "tid"} <= event.keys()
+        assert isinstance(event["pid"], int) and event["pid"] >= 1
+        assert isinstance(event["tid"], int) and event["tid"] >= 0
+        ph = event["ph"]
+        assert ph in {"M", "X", "B", "E", "i"}
+        if ph == "M":
+            assert event["name"] in {
+                "process_name", "process_sort_index", "thread_name",
+            }
+            assert "args" in event
+        else:
+            assert isinstance(event["ts"], (int, float))
+            assert event["ts"] >= 0
+        if ph == "X":
+            assert event["dur"] >= 0
+        if ph == "i":
+            assert event["s"] == "t"
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        events = chrome_trace_events(build_synthetic_tracer())
+        validate_chrome_events(events)
+
+    def test_metadata_names_processes_and_threads(self):
+        events = chrome_trace_events(build_synthetic_tracer())
+        process_names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert process_names == {"BFS-TWC"}
+        assert {"batches", "engine", "eviction", "dma.h2d", "sm0"} <= thread_names
+
+    def test_sim_cycles_convert_to_microseconds(self):
+        events = chrome_trace_events(build_synthetic_tracer())
+        batch = next(e for e in events if e["name"] == "batch 0")
+        assert batch["ts"] == 0
+        assert batch["dur"] == 4.7  # 4700 cycles = 4.7 us at 1 GHz
+
+    def test_wall_events_pass_through_unscaled(self):
+        tr = Tracer()
+        with tr.wall_span("experiments", "cell"):
+            pass
+        (event,) = chrome_trace_events(tr)[-1:]
+        assert event["pid"] == 1  # harness scope 0 -> pid 1
+        assert event["ts"] == round(tr.events[0].ts, 3)
+
+    def test_empty_scopes_emit_no_metadata(self):
+        tr = Tracer()
+        tr.open_scope("never-used")
+        sid = tr.open_scope("used")
+        tr.set_scope(sid)
+        tr.instant("t", "x", 0)
+        events = chrome_trace_events(tr)
+        names = {e["args"]["name"] for e in events if e["name"] == "process_name"}
+        assert names == {"used"}
+
+    def test_trace_object_reports_drops(self):
+        tr = Tracer(max_events=1)
+        tr.instant("t", "kept", 0)
+        tr.instant("t", "lost", 1)
+        trace = chrome_trace(tr)
+        assert trace["otherData"]["dropped_events"] == 1
+        assert len([e for e in trace["traceEvents"] if e["ph"] != "M"]) == 1
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "nested" / "dir" / "trace.json"
+        path = write_chrome_trace(build_synthetic_tracer(), target)
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        validate_chrome_events(loaded["traceEvents"])
+
+
+class TestGoldenFile:
+    """The synthetic session must render byte-identically forever."""
+
+    def test_matches_committed_golden(self):
+        rendered = render_chrome_trace(build_synthetic_tracer()) + "\n"
+        assert rendered == GOLDEN.read_text(), (
+            "golden trace drifted; if the exporter change is intentional, "
+            "regenerate with: PYTHONPATH=src python -c "
+            '"from tests.test_obs_export import *; '
+            "GOLDEN.write_text(render_chrome_trace(build_synthetic_tracer())"
+            ' + chr(10))"'
+        )
+
+    def test_render_is_deterministic(self):
+        a = render_chrome_trace(build_synthetic_tracer())
+        b = render_chrome_trace(build_synthetic_tracer())
+        assert a == b
+
+
+class TestMetricsExport:
+    def build(self):
+        reg = MetricRegistry()
+        reg.counter("uvm.evictions").inc(3)
+        reg.counter("dma.pages", channel="h2d").inc(40)
+        reg.gauge("sim.exec_cycles", workload="BC").set(123456)
+        h = reg.histogram("uvm.batch_cycles", bucket_width=100)
+        for v in (50, 150, 950):
+            h.record(v)
+        return reg
+
+    def test_json_round_trip(self, tmp_path):
+        path = write_metrics_json(self.build(), tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert set(data) == {"metrics", "snapshot"}
+        assert data["snapshot"]["uvm.evictions"] == 3
+        row = next(r for r in data["metrics"] if r["name"] == "dma.pages")
+        assert row["labels"] == {"channel": "h2d"}
+        assert row["value"] == 40
+
+    def test_csv_round_trip(self, tmp_path):
+        path = write_metrics_csv(self.build(), tmp_path / "m.csv")
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0].keys() == set(CSV_FIELDS)
+        by_name = {(r["name"], r["labels"]): r for r in rows}
+        assert by_name[("dma.pages", "channel=h2d")]["value"] == "40"
+        hist = by_name[("uvm.batch_cycles", "")]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == "3"
+        assert hist["max"] == "950"
+
+    def test_metrics_dict_snapshot_consistent_with_rows(self):
+        data = metrics_dict(self.build())
+        counter_rows = [r for r in data["metrics"] if r["type"] == "counter"]
+        for row in counter_rows:
+            labels = "".join(
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items())) + "}"
+                for _ in [0]
+                if row["labels"]
+            )
+            assert data["snapshot"][row["name"] + labels] == row["value"]

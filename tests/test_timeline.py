@@ -27,10 +27,16 @@ class TestTimeline:
 
     def test_cap_drops_and_counts(self):
         tl = Timeline(max_events=2)
-        for t in range(5):
-            tl.record(t, "x")
+        tl.record(0, "x")
+        tl.record(1, "x")
+        with pytest.warns(RuntimeWarning, match="max_events=2"):
+            tl.record(2, "x")
+        # Only the first drop warns; later drops are silent but counted.
+        tl.record(3, "x")
+        tl.record(4, "x")
         assert len(tl) == 2
         assert tl.dropped == 3
+        assert summarize(tl)["dropped"] == 3
 
     def test_summarize(self):
         tl = Timeline()
