@@ -1,0 +1,55 @@
+"""Deterministic, seeded fault injection for the UVM simulator.
+
+The paper's mechanisms are defined by how they behave under stress —
+fault-buffer pressure, serialized evictions, premature evictions under
+thread oversubscription — yet a happy-path simulator never exercises
+those corners.  This package perturbs the model *deterministically* so
+that corner-case behaviour is reproducible bit-for-bit: the same spec
+and seed always produce the same injections, the same stats snapshot,
+and the same trace.
+
+Spec grammar (``--chaos`` on both CLIs)::
+
+    spec      := injector (";" injector)*
+    injector  := kind [":" param ("," param)*]
+    param     := name "=" number
+
+Injector kinds (see :mod:`repro.chaos.injectors`):
+
+=================  =====================================================
+``fault-latency``  Perturb the GPU runtime fault-handling time per batch
+                   (``prob``, ``mult``, ``add``).
+``dma-stall``      Stall/fail DMA transfers; each failed attempt retries
+                   after an exponential backoff (``prob``, ``retries``,
+                   ``backoff``).
+``drop-fault``     Drop fault-buffer entries at push (``prob``), forcing
+                   the hardware replay path.
+``dup-fault``      Duplicate fault-buffer entries at push (``prob``),
+                   adding buffer-capacity pressure.
+``evict-contend``  Inflate eviction D2H durations, contending the
+                   eviction path (``prob``, ``mult``).
+``fail-batch``     Deterministically raise ``InjectionError`` when batch
+                   ``batch`` begins — a deliberate failure for testing
+                   the self-healing experiment harness.
+=================  =====================================================
+
+Example::
+
+    python -m repro BFS-TTC --chaos "dma-stall:prob=0.1,retries=3;drop-fault:prob=0.02" \
+        --chaos-seed 7 --invariants
+
+All injections are recorded through the active observability session
+(``chaos`` trace track, ``chaos.injections`` counters) and summarised in
+``SimulationResult.extras["chaos.<kind>"]``.
+"""
+
+from repro.chaos.config import ChaosConfig, InjectorSpec, parse_chaos_spec
+from repro.chaos.injectors import INJECTOR_KINDS, ChaosSession
+
+__all__ = [
+    "ChaosConfig",
+    "InjectorSpec",
+    "parse_chaos_spec",
+    "ChaosSession",
+    "INJECTOR_KINDS",
+]

@@ -1,0 +1,110 @@
+"""Chaos configuration: the parsed, hashable form of a ``--chaos`` spec.
+
+:class:`ChaosConfig` is a frozen dataclass so it can live inside
+:class:`repro.gpu.config.SimConfig`, be hashed into experiment cache
+keys, and be pickled to worker processes unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InjectionError
+
+#: Parameter names every injector accepts, plus per-kind extras.
+_COMMON_PARAMS = frozenset({"prob"})
+_KIND_PARAMS: dict[str, frozenset[str]] = {
+    "fault-latency": _COMMON_PARAMS | {"mult", "add"},
+    "dma-stall": _COMMON_PARAMS | {"retries", "backoff"},
+    "drop-fault": _COMMON_PARAMS,
+    "dup-fault": _COMMON_PARAMS,
+    "evict-contend": _COMMON_PARAMS | {"mult"},
+    "fail-batch": frozenset({"batch"}),
+}
+
+
+@dataclass(frozen=True)
+class InjectorSpec:
+    """One injector: its kind and its (name, value) parameter pairs."""
+
+    kind: str
+    params: tuple[tuple[str, float], ...] = ()
+
+    def param(self, name: str, default: float) -> float:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A full chaos run specification: injectors plus the base seed."""
+
+    injectors: tuple[InjectorSpec, ...] = ()
+    seed: int = 0
+
+    def spec_string(self) -> str:
+        """Round-trip back to the CLI grammar (canonical ordering kept)."""
+        parts = []
+        for spec in self.injectors:
+            if spec.params:
+                params = ",".join(f"{k}={v:g}" for k, v in spec.params)
+                parts.append(f"{spec.kind}:{params}")
+            else:
+                parts.append(spec.kind)
+        return ";".join(parts)
+
+
+def parse_chaos_spec(spec: str, seed: int = 0) -> ChaosConfig:
+    """Parse the ``--chaos`` grammar into a :class:`ChaosConfig`.
+
+    Raises :class:`~repro.errors.InjectionError` naming the offending
+    fragment for unknown kinds, unknown parameters, or malformed values.
+    """
+    if not spec or not spec.strip():
+        raise InjectionError("empty chaos spec")
+    injectors: list[InjectorSpec] = []
+    for fragment in spec.split(";"):
+        fragment = fragment.strip()
+        if not fragment:
+            continue
+        kind, _, param_text = fragment.partition(":")
+        kind = kind.strip()
+        if kind not in _KIND_PARAMS:
+            raise InjectionError(
+                f"unknown chaos injector {kind!r}",
+                known=sorted(_KIND_PARAMS),
+            )
+        params: list[tuple[str, float]] = []
+        if param_text.strip():
+            for pair in param_text.split(","):
+                name, sep, value_text = pair.partition("=")
+                name = name.strip()
+                if not sep or not name:
+                    raise InjectionError(
+                        f"malformed chaos parameter {pair!r}", injector=kind
+                    )
+                if name not in _KIND_PARAMS[kind]:
+                    raise InjectionError(
+                        f"unknown parameter {name!r} for injector {kind!r}",
+                        accepted=sorted(_KIND_PARAMS[kind]),
+                    )
+                try:
+                    value = float(value_text)
+                except ValueError:
+                    raise InjectionError(
+                        f"chaos parameter {name!r} must be numeric, "
+                        f"got {value_text!r}",
+                        injector=kind,
+                    ) from None
+                params.append((name, value))
+        prob = dict(params).get("prob")
+        if prob is not None and not 0.0 <= prob <= 1.0:
+            raise InjectionError(
+                f"prob must be within [0, 1], got {prob}", injector=kind
+            )
+        injectors.append(InjectorSpec(kind, tuple(params)))
+    if not injectors:
+        raise InjectionError("chaos spec names no injectors", spec=spec)
+    return ChaosConfig(injectors=tuple(injectors), seed=seed)

@@ -1,0 +1,256 @@
+"""Pluggable fault injectors and the per-run :class:`ChaosSession`.
+
+Each injector owns an independent :class:`random.Random` stream seeded
+from ``(base_seed, injector_kind)`` via a stable CRC (``random.Random``
+itself is deterministic across platforms and Python versions for the
+``random()`` method).  Injector streams advance only when their site is
+consulted, and the discrete-event engine consults sites in a
+deterministic order — so the same spec and seed reproduce the same
+injections bit-for-bit, in serial runs and in worker processes alike.
+
+The session follows the observability layer's hook pattern: components
+hold a ``chaos`` attribute that is ``None`` by default, so the disabled
+hot path costs one ``is not None`` pointer test per site.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.chaos.config import ChaosConfig, InjectorSpec
+from repro.errors import InjectionError
+
+#: All injector kinds, in the order their streams are derived.
+INJECTOR_KINDS = (
+    "fault-latency",
+    "dma-stall",
+    "drop-fault",
+    "dup-fault",
+    "evict-contend",
+    "fail-batch",
+)
+
+
+def _derive_rng(base_seed: int, kind: str) -> random.Random:
+    """Independent deterministic stream per (seed, injector kind)."""
+    return random.Random((base_seed << 32) ^ zlib.crc32(kind.encode()))
+
+
+class _Injector:
+    """Shared plumbing: probability gate + per-kind RNG + hit counter."""
+
+    def __init__(self, spec: InjectorSpec, base_seed: int) -> None:
+        self.spec = spec
+        self.kind = spec.kind
+        self.prob = spec.param("prob", 0.1)
+        self.rng = _derive_rng(base_seed, spec.kind)
+        self.injections = 0
+
+    def fires(self) -> bool:
+        """Advance the stream once; True when this site gets perturbed."""
+        return self.rng.random() < self.prob
+
+
+class FaultLatencyInjector(_Injector):
+    """Perturb the GPU runtime fault-handling time of a batch.
+
+    With probability ``prob`` the batch's fault-handling window is
+    stretched to ``mult`` times its modelled value plus ``add`` cycles —
+    the CPU runtime hiccuping (scheduling jitter, contended host page
+    walks) exactly where Figure 18's sensitivity sweep says it hurts.
+    """
+
+    def perturb(self, cycles: int) -> int:
+        if not self.fires():
+            return cycles
+        self.injections += 1
+        mult = self.spec.param("mult", 4.0)
+        add = int(self.spec.param("add", 0.0))
+        return max(1, int(cycles * mult) + add)
+
+
+class DmaStallInjector(_Injector):
+    """Stall/fail DMA transfers with bounded retry + exponential backoff.
+
+    Each attempt fails with probability ``prob`` (up to ``retries``
+    failures, default 3); attempt *k* costs an extra backoff delay of
+    ``backoff * 2**k`` times the transfer duration before the retransfer
+    succeeds.  Models link-level replay (or a driver re-issuing a failed
+    DMA descriptor) without unbounded stalls.
+    """
+
+    def extra_cycles(self, duration: int) -> tuple[int, int]:
+        """Return (retries, extra_cycles) for one transfer attempt."""
+        max_retries = int(self.spec.param("retries", 3.0))
+        backoff = self.spec.param("backoff", 0.5)
+        retries = 0
+        extra = 0
+        while retries < max_retries and self.fires():
+            # Failed attempt: wait out the backoff, then retransfer.
+            extra += max(1, int(duration * backoff * (2**retries))) + duration
+            retries += 1
+        if retries:
+            self.injections += retries
+        return retries, extra
+
+
+class DropFaultInjector(_Injector):
+    """Drop fault-buffer entries at push (lost replayable faults)."""
+
+    def drops(self) -> bool:
+        if self.fires():
+            self.injections += 1
+            return True
+        return False
+
+
+class DupFaultInjector(_Injector):
+    """Duplicate fault-buffer entries at push (replay storms)."""
+
+    def duplicates(self) -> bool:
+        if self.fires():
+            self.injections += 1
+            return True
+        return False
+
+
+class EvictionContentionInjector(_Injector):
+    """Inflate eviction D2H durations (contended eviction path)."""
+
+    def contend(self, duration: int) -> int:
+        if not self.fires():
+            return duration
+        self.injections += 1
+        mult = self.spec.param("mult", 3.0)
+        return max(1, int(duration * mult))
+
+
+class FailBatchInjector(_Injector):
+    """Deterministically fail when the configured batch index begins.
+
+    The deliberate-failure injector: used to prove the experiment
+    harness records a :class:`~repro.errors.CellFailure` and finishes
+    the sweep instead of aborting it.
+    """
+
+    def check(self, batch_index: int) -> None:
+        target = int(self.spec.param("batch", 0.0))
+        if batch_index == target:
+            self.injections += 1
+            raise InjectionError(
+                "chaos fail-batch injector fired", batch=batch_index
+            )
+
+
+_INJECTOR_CLASSES = {
+    "fault-latency": FaultLatencyInjector,
+    "dma-stall": DmaStallInjector,
+    "drop-fault": DropFaultInjector,
+    "dup-fault": DupFaultInjector,
+    "evict-contend": EvictionContentionInjector,
+    "fail-batch": FailBatchInjector,
+}
+
+
+class ChaosSession:
+    """One run's injectors, wired into the simulator's hook sites.
+
+    The session exposes one method per hook site; sites whose injector is
+    absent from the spec are no-ops that do not advance any RNG stream.
+    Injections are recorded through the optional observability session
+    (``chaos`` trace track + ``chaos.injections`` counters).
+    """
+
+    def __init__(self, config: ChaosConfig, obs=None) -> None:
+        self.config = config
+        self.obs = obs
+        self._by_kind: dict[str, _Injector] = {}
+        for spec in config.injectors:
+            if spec.kind in self._by_kind:
+                raise InjectionError(
+                    f"duplicate chaos injector {spec.kind!r}"
+                )
+            self._by_kind[spec.kind] = _INJECTOR_CLASSES[spec.kind](
+                spec, config.seed
+            )
+        self._fault_latency = self._by_kind.get("fault-latency")
+        self._dma_stall = self._by_kind.get("dma-stall")
+        self._drop_fault = self._by_kind.get("drop-fault")
+        self._dup_fault = self._by_kind.get("dup-fault")
+        self._evict_contend = self._by_kind.get("evict-contend")
+        self._fail_batch = self._by_kind.get("fail-batch")
+
+    # ------------------------------------------------------------------
+    # Hook sites
+    # ------------------------------------------------------------------
+    def perturb_fault_handling(self, cycles: int, now: int) -> int:
+        """Site: :meth:`UvmRuntime._begin_batch` fault-handling window."""
+        injector = self._fault_latency
+        if injector is None:
+            return cycles
+        perturbed = injector.perturb(cycles)
+        if perturbed != cycles:
+            self._record(
+                "fault-latency", now, original=cycles, perturbed=perturbed
+            )
+        return perturbed
+
+    def dma_attempts(self, channel: str, duration: int, now: int) -> int:
+        """Site: :meth:`DmaChannel.enqueue`; returns extra stall cycles."""
+        injector = self._dma_stall
+        if injector is None:
+            return 0
+        retries, extra = injector.extra_cycles(duration)
+        if retries:
+            self._record(
+                "dma-stall", now, channel=channel, retries=retries, extra=extra
+            )
+        return extra
+
+    def fault_entry_action(self, page: int, now: int) -> str | None:
+        """Site: :meth:`FaultBuffer.push`; ``"drop"``, ``"dup"``, or None."""
+        if self._drop_fault is not None and self._drop_fault.drops():
+            self._record("drop-fault", now, page=f"{page:#x}")
+            return "drop"
+        if self._dup_fault is not None and self._dup_fault.duplicates():
+            self._record("dup-fault", now, page=f"{page:#x}")
+            return "dup"
+        return None
+
+    def evict_duration(self, duration: int, now: int) -> int:
+        """Site: :meth:`UvmRuntime._plan_evictions` D2H durations."""
+        injector = self._evict_contend
+        if injector is None:
+            return duration
+        contended = injector.contend(duration)
+        if contended != duration:
+            self._record(
+                "evict-contend", now, original=duration, contended=contended
+            )
+        return contended
+
+    def on_batch_begin(self, batch_index: int, now: int) -> None:
+        """Site: batch open — the deliberate-failure injector."""
+        if self._fail_batch is not None:
+            self._fail_batch.check(batch_index)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, now: int, **details) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter("chaos.injections", injector=kind).inc()
+            obs.tracer.instant("chaos", kind, now, **details)
+
+    def injection_counts(self) -> dict[str, int]:
+        """Per-injector hit counts (keys: injector kinds in the spec)."""
+        return {
+            kind: injector.injections
+            for kind, injector in self._by_kind.items()
+        }
+
+    @property
+    def total_injections(self) -> int:
+        return sum(inj.injections for inj in self._by_kind.values())

@@ -26,6 +26,7 @@ import sys
 
 from repro import obs as obs_mod
 from repro import systems
+from repro.chaos import parse_chaos_spec
 from repro.errors import ReproError
 from repro.sim.timeline import Timeline, render_batches
 from repro.simulator import GpuUvmSimulator
@@ -109,6 +110,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the ASCII Figure-2 batch timeline",
     )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "fault-injection spec, e.g. "
+            "'dma-stall:prob=0.2;drop-fault:prob=0.05' "
+            "(see repro.chaos for the grammar and injector kinds)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the chaos RNG streams (default: 0)",
+    )
+    parser.add_argument(
+        "--invariants",
+        action="store_true",
+        help=(
+            "validate memory/page-table consistency at batch boundaries "
+            "and quiescence (repro.invariants)"
+        ),
+    )
+    parser.add_argument(
+        "--wall-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort with a stall diagnosis if the run exceeds this wall time",
+    )
     return parser
 
 
@@ -126,7 +159,11 @@ def main(argv: list[str] | None = None) -> int:
         workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
         preset = systems.by_name(args.system)
         kwargs = {} if args.ratio is None else {"ratio": args.ratio}
-        config = preset.configure(workload, **kwargs)
+        if args.chaos is not None:
+            kwargs["chaos"] = parse_chaos_spec(args.chaos, seed=args.chaos_seed)
+        config = preset.configure(
+            workload, check_invariants=args.invariants, **kwargs
+        )
     except (KeyError, ReproError) as exc:
         parser.error(str(exc).strip('"'))
 
@@ -140,12 +177,22 @@ def main(argv: list[str] | None = None) -> int:
     try:
         result = GpuUvmSimulator(
             workload, config, timeline=timeline, obs=obs
-        ).run(max_events=args.max_events)
+        ).run(max_events=args.max_events, wall_budget_seconds=args.wall_budget)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
     print(result.summary())
+    if config.chaos is not None:
+        injected = {
+            key[len("chaos.") :]: int(value)
+            for key, value in sorted(result.extras.items())
+            if key.startswith("chaos.")
+        }
+        print(
+            "  chaos: "
+            + ", ".join(f"{kind}={count}" for kind, count in injected.items())
+        )
     if timeline is not None:
         print()
         print(render_batches(timeline))

@@ -1,16 +1,78 @@
-"""Exception types used across the reproduction package."""
+"""Exception taxonomy used across the reproduction package.
+
+Every error accepts keyword *context* — the offending page/frame/batch
+ids and whatever else the raise site knows.  Context is folded into the
+message (so it survives pickling across worker-process boundaries) and
+kept as a ``context`` dict for programmatic inspection, e.g. by the
+experiment harness when it converts a failed cell into a
+:class:`CellFailure` record.
+"""
+
+from __future__ import annotations
+
+
+def _format_context(context: dict) -> str:
+    return ", ".join(f"{key}={value}" for key, value in context.items())
+
+
+def _reconstruct(cls, args, state):
+    """Rebuild a pickled :class:`ReproError` without re-running
+    ``__init__`` — the message already has the context folded in, and
+    re-folding (or re-applying keyword defaults) would garble it."""
+    error = Exception.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(state)
+    return error
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    ``context`` keyword arguments are appended to the message
+    (``"msg (page=0x40000, frame=3)"``) and stored on the instance::
+
+        raise SimulationError("page not resident", page=hex(page))
+    """
+
+    def __init__(self, message: str = "", **context) -> None:
+        self.context = dict(context)
+        if context:
+            message = f"{message} ({_format_context(context)})"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return _reconstruct, (type(self), self.args, self.__dict__.copy())
 
 
 class ConfigError(ReproError):
     """A configuration value is invalid or inconsistent."""
 
 
+class InjectionError(ConfigError):
+    """A chaos specification is malformed or an injector misbehaved."""
+
+
 class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant check failed (see :mod:`repro.invariants`).
+
+    Raised by :class:`repro.invariants.InvariantChecker` when the memory
+    manager, page table, or batch state machine disagree with each other;
+    ``context`` names the violated invariant and the witnesses.
+    """
+
+
+class SimulationStalledError(SimulationError):
+    """The engine stopped making progress (see :class:`repro.invariants.Watchdog`).
+
+    Either simulated time stopped advancing while events kept firing, or
+    the run exceeded its wall-clock budget.  ``context`` carries a
+    diagnostic state snapshot: engine clock, queue depth, next callbacks,
+    and whatever the simulator's snapshot provider added.
+    """
 
 
 class LayoutError(ReproError):
@@ -19,3 +81,56 @@ class LayoutError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload definition or trace request is invalid."""
+
+
+class CellFailure(ReproError):
+    """Structured record of one failed experiment cell.
+
+    The hardened runner (:func:`repro.experiments.common.run_cells`)
+    returns these *in place of* :class:`~repro.simulator.SimulationResult`
+    for cells that kept failing after retries, so a sweep completes and
+    reports partial data instead of aborting.  Use
+    :func:`repro.experiments.common.is_failure` (or ``isinstance``) to
+    filter them out of result lists.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        workload: str = "?",
+        system: str = "?",
+        attempts: int = 1,
+        error_type: str = "",
+        **context,
+    ) -> None:
+        super().__init__(
+            message,
+            workload=workload,
+            system=system,
+            attempts=attempts,
+            **({"error_type": error_type} if error_type else {}),
+            **context,
+        )
+        self.workload = workload
+        self.system = system
+        self.attempts = attempts
+        self.error_type = error_type
+
+    def summary(self) -> str:
+        """One-line digest for sweep reports."""
+        return (
+            f"{self.workload}/{self.system}: {self.error_type or 'error'} "
+            f"after {self.attempts} attempt(s) — {self.args[0]}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (runner failure snapshots)."""
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": str(self.args[0]) if self.args else "",
+            "context": {k: repr(v) for k, v in self.context.items()},
+        }

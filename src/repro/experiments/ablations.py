@@ -29,6 +29,7 @@ from repro.experiments.common import (
     ExperimentResult,
     RunSpec,
     half_ratio,
+    is_failure,
     run_cells,
     run_config,
     run_matrix,
@@ -38,8 +39,10 @@ from repro.workloads.registry import build_workload
 DEFAULT_WORKLOADS = ("BFS-TTC", "BFS-TWC", "KCORE", "PR")
 
 
-def _run(workload: str, config, scale: str) -> int:
-    return run_config(workload, config, scale=scale).exec_cycles
+def _run(workload: str, config, scale: str) -> int | None:
+    """Exec cycles for one cell, or ``None`` if it failed (keep-going)."""
+    result = run_config(workload, config, scale=scale)
+    return None if is_failure(result) else result.exec_cycles
 
 
 def _prewarm(named_configs, scale: str, label: str) -> None:
@@ -83,8 +86,13 @@ def run_replacement(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> Experim
         row = {}
         for column in ("baseline", "to_ue"):
             aged, accessed = configs[(name, column)]
-            row[column] = _run(name, aged, scale) / _run(name, accessed, scale)
-        result.add_row(name, **row)
+            aged_cycles = _run(name, aged, scale)
+            accessed_cycles = _run(name, accessed, scale)
+            if aged_cycles is None or accessed_cycles is None:
+                break  # keep-going sweeps: skip rows with failed cells
+            row[column] = aged_cycles / accessed_cycles
+        else:
+            result.add_row(name, **row)
     result.add_row(
         "AVERAGE", **{c: result.mean(c) for c in result.columns}
     )
@@ -118,10 +126,17 @@ def run_prefetch(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> Experiment
         row = {}
         for column in ("baseline", "to_ue"):
             with_pf, without = configs[(name, column)]
-            row[column] = _run(name, without, scale) / _run(name, with_pf, scale)
-        pf_run = run_config(name, configs[(name, "baseline")][0], scale=scale)
-        row["prefetched_pages"] = pf_run.prefetched_pages
-        result.add_row(name, **row)
+            without_cycles = _run(name, without, scale)
+            with_cycles = _run(name, with_pf, scale)
+            if without_cycles is None or with_cycles is None:
+                break  # keep-going sweeps: skip rows with failed cells
+            row[column] = without_cycles / with_cycles
+        else:
+            pf_run = run_config(name, configs[(name, "baseline")][0], scale=scale)
+            if is_failure(pf_run):
+                continue
+            row["prefetched_pages"] = pf_run.prefetched_pages
+            result.add_row(name, **row)
     result.add_row(
         "AVERAGE", **{c: result.mean(c) for c in result.columns}
     )
@@ -168,12 +183,18 @@ def run_dirty(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> ExperimentRes
     )
     for name in workloads:
         base_cfg, skip_cfg, ue_cfg, ue_skip_cfg = configs[name]
-        base = _run(name, base_cfg, scale)
+        cycles = [
+            _run(name, cfg, scale)
+            for cfg in (base_cfg, skip_cfg, ue_cfg, ue_skip_cfg)
+        ]
+        if any(c is None for c in cycles):
+            continue  # keep-going sweeps: skip rows with failed cells
+        base, skip_cycles, ue_cycles, ue_skip_cycles = cycles
         result.add_row(
             name,
-            skip_clean=base / _run(name, skip_cfg, scale),
-            ue=base / _run(name, ue_cfg, scale),
-            ue_plus_skip=base / _run(name, ue_skip_cfg, scale),
+            skip_clean=base / skip_cycles,
+            ue=base / ue_cycles,
+            ue_plus_skip=base / ue_skip_cycles,
         )
     result.add_row(
         "AVERAGE", **{c: result.mean(c) for c in result.columns}
@@ -215,10 +236,13 @@ def run_bandwidth(scale: str = "tiny", workload: str = "BFS-TTC") -> ExperimentR
     )
     for d2h_factor in factors:
         base_cfg, ue_cfg = configs[d2h_factor]
+        base_cycles = _run(workload, base_cfg, scale)
+        ue_cycles = _run(workload, ue_cfg, scale)
+        if base_cycles is None or ue_cycles is None:
+            continue  # keep-going sweeps: skip rows with failed cells
         result.add_row(
             f"d2h={d2h_factor:.2f}x",
-            ue_speedup=_run(workload, base_cfg, scale)
-            / _run(workload, ue_cfg, scale),
+            ue_speedup=base_cycles / ue_cycles,
         )
     return result
 
@@ -254,6 +278,8 @@ def run_to_degree(scale: str = "tiny", workload: str = "BFS-TTC") -> ExperimentR
     base_cycles = _run(workload, base_cfg, scale)
     for degree, config in configs.items():
         run_result = run_config(workload, config, scale=scale)
+        if base_cycles is None or is_failure(run_result):
+            continue  # keep-going sweeps: skip rows with failed cells
         result.add_row(
             f"degree={degree}",
             speedup=base_cycles / run_result.exec_cycles,
@@ -288,6 +314,8 @@ def run_runahead(scale: str = "tiny", workloads=DEFAULT_WORKLOADS) -> Experiment
         base = runs[(name, systems.BASELINE.name)]
         runahead = runs[(name, systems.RUNAHEAD.name)]
         to = runs[(name, systems.TO.name)]
+        if is_failure(base) or is_failure(runahead) or is_failure(to):
+            continue  # keep-going sweeps: skip rows with failed cells
         base_batches = base.batch_stats.num_batches or 1
         result.add_row(
             name,

@@ -27,12 +27,16 @@ import pathlib
 import pickle
 import sys
 import time as _time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Sequence
 
+from repro.chaos.config import ChaosConfig
+from repro.errors import CellFailure, ReproError
 from repro.gpu.config import SimConfig
 from repro.obs import current as _obs_current
 from repro.simulator import GpuUvmSimulator, SimulationResult
@@ -148,22 +152,41 @@ class RunSpec:
     fault_handling_cycles: int | None = None
     seed: int = 0
     max_events: int = MAX_EVENTS
+    #: Fault-injection plan threaded into the configured system
+    #: (:mod:`repro.chaos`); participates in the cache key.
+    chaos: ChaosConfig | None = None
+    #: Batch-boundary invariant checking (:mod:`repro.invariants`).
+    check_invariants: bool = False
+    #: Per-cell wall-clock budget; a run exceeding it raises
+    #: :class:`~repro.errors.SimulationStalledError` from the engine
+    #: watchdog.  Deliberately *not* part of the cache key: a timeout
+    #: never produces a cacheable result.
+    wall_budget_seconds: float | None = None
 
     def resolved(self) -> "RunSpec":
         """Canonicalise so equal runs always produce equal cache keys:
-        upper-case the workload name (the registry is case-insensitive)
-        and fill the scale-calibrated default ratio."""
+        upper-case the workload name (the registry is case-insensitive),
+        fill the scale-calibrated default ratio, and apply the module-wide
+        chaos/invariants/timeout defaults (:func:`set_default_chaos`,
+        :func:`set_default_invariants`, :func:`set_cell_timeout`)."""
         spec = self
         if spec.workload != spec.workload.upper():
             spec = replace(spec, workload=spec.workload.upper())
         if spec.ratio is None and spec.config is None:
             spec = replace(spec, ratio=half_ratio(spec.scale))
+        if spec.chaos is None and _DEFAULT_CHAOS is not None:
+            spec = replace(spec, chaos=_DEFAULT_CHAOS)
+        if _DEFAULT_INVARIANTS and not spec.check_invariants:
+            spec = replace(spec, check_invariants=True)
+        if spec.wall_budget_seconds is None and _CELL_TIMEOUT is not None:
+            spec = replace(spec, wall_budget_seconds=_CELL_TIMEOUT)
         return spec
 
 
 def _memo_key(spec: RunSpec) -> tuple:
     """In-process cache key (matches the legacy ``_RUN_CACHE`` key plus
     ``max_events`` — a capped partial run must never satisfy a full one)."""
+    robustness = (spec.chaos, spec.check_invariants)
     if spec.config is not None:
         config_hash = hashlib.sha256(
             repr(spec.config).encode()
@@ -175,7 +198,7 @@ def _memo_key(spec: RunSpec) -> tuple:
             spec.scale,
             spec.seed,
             spec.max_events,
-        )
+        ) + robustness
     return (
         spec.preset.name,
         spec.workload,
@@ -184,7 +207,7 @@ def _memo_key(spec: RunSpec) -> tuple:
         spec.fault_handling_cycles,
         spec.seed,
         spec.max_events,
-    )
+    ) + robustness
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +217,30 @@ _CACHE_ENABLED = os.environ.get("REPRO_CACHE", "1") != "0"
 _CACHE_DIR: pathlib.Path | None = None
 _DEFAULT_JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1") or "1"))
 _PROGRESS = False
+
+# ---- Robustness policy (see docs/robustness.md) ----------------------
+#: Chaos plan applied to every cell whose spec doesn't carry its own.
+_DEFAULT_CHAOS: ChaosConfig | None = None
+#: Invariant checking applied to every cell by default.
+_DEFAULT_INVARIANTS = False
+#: Per-cell wall-clock budget in seconds (None: unbounded).
+_CELL_TIMEOUT: float | None = None
+#: How many times a cell is re-run after a *transient* failure, and the
+#: base of the exponential backoff between attempts.
+_MAX_RETRIES = 1
+_RETRY_BACKOFF = 0.25
+#: What to do with a cell that keeps failing: "raise" aborts the sweep
+#: (legacy behaviour); "keep-going" records a CellFailure in its slot so
+#: the sweep completes with partial data.
+_ON_ERROR = "raise"
+
+#: Errors worth retrying: infrastructure hiccups, not simulator states.
+#: A deterministic simulation error would simply reproduce, so
+#: :class:`~repro.errors.ReproError` is deliberately absent.
+_TRANSIENT_ERRORS = (OSError, MemoryError, BrokenProcessPool)
+
+#: Structured failures collected while ``_ON_ERROR == "keep-going"``.
+FAILURES: list[CellFailure] = []
 
 #: Per-process counters for observability (see :func:`cache_stats`).
 CACHE_STATS = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
@@ -221,6 +268,58 @@ def set_progress(enabled: bool) -> None:
     """Toggle per-cell progress lines on stderr during fan-outs."""
     global _PROGRESS
     _PROGRESS = enabled
+
+
+def set_default_chaos(chaos: ChaosConfig | None) -> None:
+    """Apply ``chaos`` to every subsequent cell (``None`` disables)."""
+    global _DEFAULT_CHAOS
+    _DEFAULT_CHAOS = chaos
+
+
+def set_default_invariants(enabled: bool) -> None:
+    """Run invariant checks in every subsequent cell."""
+    global _DEFAULT_INVARIANTS
+    _DEFAULT_INVARIANTS = bool(enabled)
+
+
+def set_cell_timeout(seconds: float | None) -> None:
+    """Wall-clock budget per cell (``None``: unbounded)."""
+    global _CELL_TIMEOUT
+    if seconds is not None and seconds <= 0:
+        raise ValueError("cell timeout must be positive (or None)")
+    _CELL_TIMEOUT = seconds
+
+
+def set_retry_policy(retries: int, backoff: float = 0.25) -> None:
+    """Retry transiently failing cells ``retries`` times with exponential
+    backoff starting at ``backoff`` seconds."""
+    global _MAX_RETRIES, _RETRY_BACKOFF
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    _MAX_RETRIES = int(retries)
+    _RETRY_BACKOFF = max(0.0, float(backoff))
+
+
+def set_on_error(policy: str) -> None:
+    """``"raise"`` aborts a sweep on the first persistent cell failure;
+    ``"keep-going"`` records a :class:`~repro.errors.CellFailure` in the
+    failed cell's result slot and completes the sweep."""
+    global _ON_ERROR
+    if policy not in ("raise", "keep-going"):
+        raise ValueError(f"unknown on-error policy {policy!r}")
+    _ON_ERROR = policy
+
+
+def is_failure(result) -> bool:
+    """True when a result slot holds a :class:`CellFailure` record."""
+    return isinstance(result, CellFailure)
+
+
+def drain_failures() -> list[CellFailure]:
+    """Return and clear the failures collected under ``keep-going``."""
+    failures = list(FAILURES)
+    FAILURES.clear()
+    return failures
 
 
 def cache_dir() -> pathlib.Path:
@@ -270,12 +369,37 @@ def _cache_path(key: tuple) -> pathlib.Path:
     return cache_dir() / f"{hashlib.sha256(blob).hexdigest()[:40]}.pkl"
 
 
+def _quarantine(path: pathlib.Path) -> None:
+    """Rename a corrupted cache entry aside and warn, naming the file.
+
+    Quarantining (rather than deleting) keeps the bad bytes around for a
+    post-mortem while guaranteeing the entry can never be loaded again.
+    """
+    corrupt = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, corrupt)
+    except OSError:
+        return  # raced with another process or read-only dir; best-effort
+    warnings.warn(
+        f"quarantined corrupted run-cache entry {path} -> {corrupt.name}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def _disk_load(key: tuple) -> SimulationResult | None:
     path = _cache_path(key)
     try:
-        with open(path, "rb") as fh:
+        fh = open(path, "rb")
+    except OSError:
+        return None  # no entry (or unreadable dir): an ordinary miss
+    try:
+        with fh:
             stored_key, result = pickle.load(fh)
-    except (OSError, pickle.PickleError, EOFError, ValueError):
+    except Exception:
+        # Truncated or bit-rotted pickles can raise nearly anything while
+        # unpickling; whatever it was, the entry is unusable.
+        _quarantine(path)
         return None
     if stored_key != key or not isinstance(result, SimulationResult):
         return None
@@ -299,12 +423,13 @@ def clear_persistent_cache() -> int:
     removed = 0
     directory = cache_dir()
     if directory.is_dir():
-        for path in directory.glob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.pkl", "*.pkl.corrupt"):
+            for path in directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
     return removed
 
 
@@ -367,17 +492,96 @@ def _cell_label(spec: RunSpec) -> str:
 
 def _simulate_spec(spec: RunSpec) -> SimulationResult:
     """Execute one cell from scratch.  Runs in worker processes too, so it
-    must stay a module-level function of picklable arguments."""
+    must stay a module-level function of picklable arguments.
+
+    The wall-clock budget rides inside the simulation (an engine
+    watchdog), so per-cell timeouts work identically in the serial path
+    and in forked workers — no executor-level cancellation needed."""
     workload = _workload_cached(spec.workload, spec.scale, spec.seed)
     if spec.config is not None:
         config = spec.config
+        if spec.chaos is not None or spec.check_invariants:
+            from dataclasses import replace as _replace
+
+            config = _replace(
+                config,
+                chaos=spec.chaos if spec.chaos is not None else config.chaos,
+                check_invariants=spec.check_invariants
+                or config.check_invariants,
+            )
     else:
         config = spec.preset.configure(
             workload,
             ratio=spec.ratio,
             fault_handling_cycles=spec.fault_handling_cycles,
+            chaos=spec.chaos,
+            check_invariants=spec.check_invariants,
         )
-    return GpuUvmSimulator(workload, config).run(max_events=spec.max_events)
+    return GpuUvmSimulator(workload, config).run(
+        max_events=spec.max_events,
+        wall_budget_seconds=spec.wall_budget_seconds,
+    )
+
+
+def _record_failure(
+    spec: RunSpec, exc: BaseException, attempts: int
+) -> CellFailure:
+    """Convert a persistently failing cell into a structured record.
+
+    Under the default ``raise`` policy the record is *raised* (chained to
+    the original error) so a sweep still aborts loudly; under
+    ``keep-going`` it is appended to :data:`FAILURES` and returned to sit
+    in the cell's result slot."""
+    failure = CellFailure(
+        str(exc) or type(exc).__name__,
+        workload=spec.workload,
+        system=spec.preset.name if spec.preset is not None else "config",
+        attempts=attempts,
+        error_type=type(exc).__qualname__,
+        scale=spec.scale,
+    )
+    if _ON_ERROR != "keep-going":
+        raise failure from exc
+    FAILURES.append(failure)
+    obs = _obs_current()
+    if obs is not None:
+        obs.metrics.counter(
+            "experiments.cell_failures", error=failure.error_type
+        ).inc()
+    if _PROGRESS:
+        sys.stderr.write(f"\n  [cell failed] {failure.summary()}\n")
+        sys.stderr.flush()
+    return failure
+
+
+def _run_one(
+    spec: RunSpec, prior: BaseException | None = None
+) -> SimulationResult | CellFailure:
+    """Run one cell under the retry/failure policy.
+
+    ``prior`` is an error the cell already produced elsewhere (a worker
+    process): it counts as the first attempt, so the bounded-retry budget
+    is shared between the parallel and serial paths.  Transient
+    infrastructure errors retry with exponential backoff; deterministic
+    simulator errors fail immediately (re-running would reproduce them);
+    anything outside the taxonomy propagates — it is a bug, not a cell
+    failure.
+    """
+    attempts = 0
+    last = prior
+    if last is not None:
+        attempts = 1
+    while last is None or (
+        isinstance(last, _TRANSIENT_ERRORS) and attempts <= _MAX_RETRIES
+    ):
+        if last is not None and _RETRY_BACKOFF:
+            _time.sleep(_RETRY_BACKOFF * (2 ** (attempts - 1)))
+        attempts += 1
+        try:
+            return _simulate_spec(spec)
+        except (ReproError, *_TRANSIENT_ERRORS) as exc:
+            last = exc
+    return _record_failure(spec, last, attempts)
 
 
 def run_cells(
@@ -392,6 +596,11 @@ def run_cells(
     simulation the serial path would (same parameters, same seeds, fresh
     deterministic engine), and results are merged back by index — so
     ``jobs=N`` output is bit-identical to ``jobs=1``.
+
+    Failing cells follow the retry/on-error policy (:func:`set_retry_policy`,
+    :func:`set_on_error`): under ``keep-going`` a persistently failing
+    cell's slot holds a :class:`~repro.errors.CellFailure` instead of a
+    result, and the sweep completes with partial data.
     """
     cells = [cell.resolved() for cell in cells]
     keys = [_memo_key(cell) for cell in cells]
@@ -444,7 +653,15 @@ def run_cells(
                 pool.submit(_simulate_spec, cells[i]): i for i in pending
             }
             for future in as_completed(futures):
-                results[futures[future]] = future.result()
+                i = futures[future]
+                try:
+                    results[i] = future.result()
+                except (ReproError, *_TRANSIENT_ERRORS) as exc:
+                    # The worker's attempt counts as the first; any retry
+                    # budget left runs here in the parent (a dead pool —
+                    # BrokenProcessPool — also lands every remaining
+                    # future here, degrading to a serial finish).
+                    results[i] = _run_one(cells[i], prior=exc)
                 done += 1
                 report()
     else:
@@ -453,16 +670,17 @@ def run_cells(
                 with obs.tracer.wall_span(
                     "experiments", _cell_label(cells[i]), group=label
                 ):
-                    results[i] = _simulate_spec(cells[i])
+                    results[i] = _run_one(cells[i])
             else:
-                results[i] = _simulate_spec(cells[i])
+                results[i] = _run_one(cells[i])
             done += 1
             report()
     if cells:
         report(final=True)
 
     for i in pending:
-        _cache_put(keys[i], results[i], use_cache)
+        if isinstance(results[i], SimulationResult):
+            _cache_put(keys[i], results[i], use_cache)
     return results  # type: ignore[return-value]
 
 
@@ -492,13 +710,9 @@ def run_system(
     if hit is not None:
         return hit
     _count_cache("misses")
-    if isinstance(workload, str):
-        workload = _workload_cached(name, scale, seed)
-    config = preset.configure(
-        workload, ratio=spec.ratio, fault_handling_cycles=fault_handling_cycles
-    )
-    result = GpuUvmSimulator(workload, config).run(max_events=max_events)
-    _cache_put(key, result, use_cache)
+    result = _run_one(spec)
+    if isinstance(result, SimulationResult):
+        _cache_put(key, result, use_cache)
     return result
 
 
@@ -528,8 +742,9 @@ def run_config(
     if hit is not None:
         return hit
     _count_cache("misses")
-    result = _simulate_spec(spec)
-    _cache_put(key, result, use_cache)
+    result = _run_one(spec)
+    if isinstance(result, SimulationResult):
+        _cache_put(key, result, use_cache)
     return result
 
 

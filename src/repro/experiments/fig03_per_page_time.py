@@ -10,7 +10,7 @@ time / pages in the batch).
 from __future__ import annotations
 
 from repro import systems
-from repro.experiments.common import ExperimentResult, run_system
+from repro.experiments.common import ExperimentResult, is_failure, run_system
 
 EXPECTATION = (
     "Per-page fault handling time decreases monotonically (hyperbolically) "
@@ -29,6 +29,9 @@ def run(scale: str = "tiny", workload: str = "BFS-TTC") -> ExperimentResult:
         columns=["batch_kb", "pages", "per_page_us"],
         notes=EXPECTATION,
     )
+    if is_failure(sim):
+        result.notes = f"cell failed: {sim.summary()}"
+        return result
     for record in sim.batch_stats.records:
         if not record.migrated_pages:
             continue

@@ -17,6 +17,7 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
+    is_failure,
     run_matrix,
 )
 
@@ -46,6 +47,8 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS) -> ExperimentResult:
     for name in workloads:
         plain = runs[(name, systems.UNLIMITED.name)]
         forced = runs[(name, systems.FORCED_OVERSUBSCRIPTION.name)]
+        if is_failure(plain) or is_failure(forced):
+            continue  # keep-going sweeps: skip rows with failed cells
         result.add_row(
             name,
             relative_perf=plain.exec_cycles / forced.exec_cycles

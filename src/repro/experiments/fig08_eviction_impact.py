@@ -16,6 +16,7 @@ from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
     RunSpec,
+    is_failure,
     run_cells,
     run_system,
 )
@@ -56,6 +57,8 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
         ideal = run_system(
             systems.IDEAL_EVICTION, name, scale=scale, ratio=ratio
         )
+        if is_failure(unlimited) or is_failure(baseline) or is_failure(ideal):
+            continue  # keep-going sweeps: skip rows with failed cells
         result.add_row(
             name,
             baseline=unlimited.exec_cycles / baseline.exec_cycles,

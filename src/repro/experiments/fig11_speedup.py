@@ -13,6 +13,7 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
+    is_failure,
     run_matrix,
 )
 
@@ -44,6 +45,9 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
         SYSTEM_ORDER, workloads, scale=scale, ratio=ratio, label="fig11"
     )
     for name in workloads:
+        cells = [runs[(name, preset.name)] for preset in SYSTEM_ORDER]
+        if any(is_failure(cell) for cell in cells):
+            continue  # keep-going sweeps: skip rows with failed cells
         base_cycles = runs[(name, "BASELINE")].exec_cycles
         result.add_row(
             name,

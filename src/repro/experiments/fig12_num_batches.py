@@ -11,6 +11,7 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
+    is_failure,
     run_matrix,
 )
 
@@ -37,6 +38,8 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
     for name in workloads:
         base = runs[(name, systems.BASELINE.name)]
         to = runs[(name, systems.TO.name)]
+        if is_failure(base) or is_failure(to):
+            continue  # keep-going sweeps: skip rows with failed cells
         base_n = base.batch_stats.num_batches
         to_n = to.batch_stats.num_batches
         result.add_row(

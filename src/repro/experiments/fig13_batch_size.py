@@ -10,6 +10,7 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
+    is_failure,
     run_matrix,
 )
 
@@ -33,6 +34,8 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
     for name in workloads:
         base = runs[(name, systems.BASELINE.name)]
         to = runs[(name, systems.TO.name)]
+        if is_failure(base) or is_failure(to):
+            continue  # keep-going sweeps: skip rows with failed cells
         base_pages = base.batch_stats.mean_batch_pages
         to_pages = to.batch_stats.mean_batch_pages
         result.add_row(

@@ -12,6 +12,7 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
+    is_failure,
     run_matrix,
 )
 
@@ -42,6 +43,8 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
         base = runs[(name, systems.BASELINE.name)]
         to = runs[(name, systems.TO.name)]
         to_ue = runs[(name, systems.TO_UE.name)]
+        if is_failure(base) or is_failure(to) or is_failure(to_ue):
+            continue  # keep-going sweeps: skip rows with failed cells
         base_time = base.batch_stats.mean_processing_time or 1.0
         result.add_row(
             name,

@@ -14,6 +14,7 @@ from repro import systems
 from repro.experiments.common import (
     PAPER_WORKLOADS,
     ExperimentResult,
+    is_failure,
     run_matrix,
 )
 
@@ -41,6 +42,8 @@ def run(scale: str = "tiny", workloads=PAPER_WORKLOADS, ratio=None) -> Experimen
     for name in workloads:
         base = runs[(name, systems.BASELINE.name)]
         to = runs[(name, systems.TO.name)]
+        if is_failure(base) or is_failure(to):
+            continue  # keep-going sweeps: skip rows with failed cells
         result.add_row(
             name,
             baseline_pct=100.0 * base.premature_eviction_rate,

@@ -12,7 +12,7 @@ width proportional to the page size so the bucket *count* is comparable.
 from __future__ import annotations
 
 from repro import systems
-from repro.experiments.common import ExperimentResult, run_matrix
+from repro.experiments.common import ExperimentResult, is_failure, run_matrix
 from repro.workloads.registry import build_workload
 
 EXPECTATION = (
@@ -41,6 +41,16 @@ def run(scale: str = "tiny", workload: str = "BFS-TTC", ratio=None,
     )
     base = runs[(workload, systems.BASELINE.name)]
     to = runs[(workload, systems.TO.name)]
+    if is_failure(base) or is_failure(to):
+        # Single-workload figure: without both cells there is nothing to
+        # plot — return an empty table naming the failure.
+        failed = base if is_failure(base) else to
+        return ExperimentResult(
+            experiment="fig16",
+            title=f"Figure 16: batch size distribution ({workload})",
+            columns=["baseline_frac", "to_frac", "efficiency"],
+            notes=f"cell failed: {failed.summary()}",
+        )
 
     base_dist = base.batch_stats.size_distribution(bucket_bytes)
     to_dist = to.batch_stats.size_distribution(bucket_bytes)

@@ -14,6 +14,7 @@ from repro import systems
 from repro.experiments.common import (
     ExperimentResult,
     RunSpec,
+    is_failure,
     run_cells,
     run_system,
 )
@@ -48,9 +49,14 @@ def run(scale: str = "tiny", workload: str = "BFS-TTC", ratios=RATIOS) -> Experi
         label="fig17",
     )
     full = run_system(systems.BASELINE, wl, scale=scale, ratio=1.0)
+    if is_failure(full):
+        result.notes = f"cell failed: {full.summary()}"
+        return result
     for ratio in ratios:
         base = run_system(systems.BASELINE, wl, scale=scale, ratio=ratio)
         ue = run_system(systems.UE, wl, scale=scale, ratio=ratio)
+        if is_failure(base) or is_failure(ue):
+            continue  # keep-going sweeps: skip rows with failed cells
         result.add_row(
             f"{ratio:.1f}",
             relative_exec_time=base.exec_cycles / full.exec_cycles,

@@ -20,6 +20,7 @@ from repro import systems
 from repro.experiments.common import (
     ExperimentResult,
     RunSpec,
+    is_failure,
     run_cells,
     run_system,
 )
@@ -73,6 +74,8 @@ def run(
                 systems.BASELINE, name, scale=scale, ratio=ratio,
                 fault_handling_cycles=fht,
             )
+            if is_failure(base):
+                continue  # keep-going sweeps: skip failed cells
             for key, preset in (
                 ("to", systems.TO),
                 ("ue", systems.UE),
@@ -82,11 +85,13 @@ def run(
                     preset, name, scale=scale, ratio=ratio,
                     fault_handling_cycles=fht,
                 )
+                if is_failure(run_result):
+                    continue
                 speedups[key].append(base.exec_cycles / run_result.exec_cycles)
         result.add_row(
             f"{fht // 1000}us",
             **{
-                key: sum(vals) / len(vals)
+                key: sum(vals) / len(vals) if vals else 0.0
                 for key, vals in speedups.items()
             },
         )

@@ -11,6 +11,8 @@ import sys
 import time
 
 from repro import obs as obs_mod
+from repro.chaos import parse_chaos_spec
+from repro.errors import ReproError
 from repro.experiments import (
     ablations,
     common,
@@ -74,6 +76,27 @@ def expand_experiments(entries: list[str]) -> list[str]:
             if name not in names:
                 names.append(name)
     return names
+
+
+def _dump_failures(directory: str, experiment: str, failures) -> None:
+    """Write the failed cells of one experiment as a JSON snapshot."""
+    import json
+    import pathlib
+
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{experiment}-failures.json"
+    path.write_text(
+        json.dumps(
+            {
+                "experiment": experiment,
+                "failures": [f.to_dict() for f in failures],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"  failure snapshot: {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -163,6 +186,57 @@ def main(argv: list[str] | None = None) -> int:
         help="write the session metric registry as JSON (CSV if PATH ends "
         "in .csv)",
     )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "fault-injection spec applied to every cell, e.g. "
+            "'dma-stall:prob=0.2;drop-fault:prob=0.05' (see repro.chaos)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the chaos RNG streams (default: 0)",
+    )
+    parser.add_argument(
+        "--invariants",
+        action="store_true",
+        help="validate runtime invariants at batch boundaries in every cell",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell; a cell exceeding it fails with "
+        "a stall diagnosis instead of hanging the sweep",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-run transiently failing cells up to N times (default: 1)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "complete a sweep even when cells fail: failed cells are "
+            "recorded as structured failures and their rows skipped"
+        ),
+    )
+    parser.add_argument(
+        "--failure-dir",
+        metavar="DIR",
+        default=None,
+        help="write a JSON snapshot of each failed cell to DIR "
+        "(implies --keep-going)",
+    )
     args = parser.parse_args(argv)
 
     names = expand_experiments(args.experiment)
@@ -180,6 +254,23 @@ def main(argv: list[str] | None = None) -> int:
         common.set_cache_dir(args.cache_dir)
     common.set_progress(not args.no_progress and sys.stderr.isatty())
 
+    if args.chaos is not None:
+        try:
+            common.set_default_chaos(
+                parse_chaos_spec(args.chaos, seed=args.chaos_seed)
+            )
+        except ReproError as exc:
+            parser.error(str(exc))
+    if args.invariants:
+        common.set_default_invariants(True)
+    if args.cell_timeout is not None:
+        common.set_cell_timeout(args.cell_timeout)
+    if args.retries is not None:
+        common.set_retry_policy(args.retries)
+    keep_going = args.keep_going or args.failure_dir is not None
+    if keep_going:
+        common.set_on_error("keep-going")
+
     obs_mode = args.obs
     if obs_mode == "off" and (args.trace_out or args.metrics_out):
         obs_mode = "full"
@@ -192,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
+    exit_code = 0
     try:
         for name in names:
             runner = (
@@ -228,6 +320,14 @@ def main(argv: list[str] | None = None) -> int:
                 - before["disk_hits"]
             )
             disk = after["disk_hits"] - before["disk_hits"]
+            failures = common.drain_failures()
+            if failures:
+                print(f"[{name}: {len(failures)} cell(s) FAILED]")
+                for failure in failures:
+                    print(f"  - {failure.summary()}")
+                if args.failure_dir:
+                    _dump_failures(args.failure_dir, name, failures)
+                exit_code = 1
             print(
                 f"[{name} completed in {elapsed:.1f}s at scale={args.scale} — "
                 f"{ran} cells run, {hits} cache hits ({disk} from disk)]"
@@ -250,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if obs is not None:
             obs_mod.install(previous_obs)
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

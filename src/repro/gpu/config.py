@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.chaos.config import ChaosConfig
 from repro.errors import ConfigError
 
 KB = 1024
@@ -276,6 +277,17 @@ class SimConfig:
 
     #: RNG seed for any stochastic model component.
     seed: int = 0
+
+    #: Optional fault-injection plan (:mod:`repro.chaos`).  None — the
+    #: default — leaves every injection site a single pointer test; the
+    #: config participates in hashing/equality, so cached experiment
+    #: results are keyed on the exact chaos plan.
+    chaos: ChaosConfig | None = None
+
+    #: Validate memory-manager/page-table consistency at batch boundaries
+    #: and quiescence (:mod:`repro.invariants`).  Off by default: the
+    #: checks walk the resident set and are meant for CI and debugging.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.eviction not in ("serialized", "unobtrusive", "ideal"):

@@ -40,6 +40,12 @@ class Engine:
         #: default) keeps the event loop un-instrumented: the only cost
         #: is one ``is not None`` test per event.
         self.obs = None
+        #: Optional :class:`repro.invariants.Watchdog`.  None (the
+        #: default) keeps the loop unguarded at the same one-pointer-test
+        #: cost; when set, :meth:`run` calls ``watchdog.tick`` after
+        #: every event and a stalled run raises
+        #: :class:`~repro.errors.SimulationStalledError`.
+        self.watchdog = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -47,7 +53,9 @@ class Engine:
     def schedule(self, delay: int, callback: Callback) -> None:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
         if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            raise SimulationError(
+                "cannot schedule into the past", delay=delay, now=self.now
+            )
         self.schedule_at(self.now + delay, callback)
 
     def schedule_at(self, time: int, callback: Callback) -> None:
@@ -67,7 +75,7 @@ class Engine:
             time = as_int
         if time < self.now:
             raise SimulationError(
-                f"cannot schedule at t={time}, current time is {self.now}"
+                "cannot schedule into the past", time=time, now=self.now
             )
         heapq.heappush(self._queue, (time, self._seq, callback))
         self._seq += 1
@@ -81,7 +89,9 @@ class Engine:
             return False
         time, _seq, callback = heapq.heappop(self._queue)
         if time < self.now:
-            raise SimulationError("event queue went backwards in time")
+            raise SimulationError(
+                "event queue went backwards in time", event_time=time, now=self.now
+            )
         self.now = time
         self._events_processed += 1
         callback()
@@ -100,11 +110,17 @@ class Engine:
         when the queue is empty or drains early — so ``run(until=N)`` is a
         reliable "advance time to N" regardless of pending work.  A stop
         caused by ``max_events`` leaves the clock at the last fired event.
+
+        The reentrancy latch is cleared in a ``finally`` even when an
+        event handler (or the watchdog) raises, so the engine instance —
+        and the harness retrying a failed cell on it — stays usable after
+        an exception.
         """
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         start_time = self.now
+        watchdog = self.watchdog
         try:
             processed = 0
             while self._queue:
@@ -114,6 +130,8 @@ class Engine:
                     break
                 self.step()
                 processed += 1
+                if watchdog is not None:
+                    watchdog.tick(self.now)
         finally:
             self._running = False
         if until is not None and until > self.now:
@@ -140,3 +158,21 @@ class Engine:
     def peek_time(self) -> int | None:
         """Time of the next queued event, or None if the queue is empty."""
         return self._queue[0][0] if self._queue else None
+
+    def state_snapshot(self) -> dict:
+        """Diagnostic snapshot for stall reports (watchdog context).
+
+        Includes the clock, queue depth, and a preview of the next few
+        queued events (time + callback qualname) so a stall report names
+        the event kinds involved in the livelock.
+        """
+        preview = [
+            (time, getattr(cb, "__qualname__", repr(cb)))
+            for time, _seq, cb in sorted(self._queue)[:4]
+        ]
+        return {
+            "engine_now": self.now,
+            "events_processed": self._events_processed,
+            "pending_events": len(self._queue),
+            "next_events": preview,
+        }

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.baselines.etc import EtcController
+from repro.chaos import ChaosSession
 from repro.core.batching import BatchStats
 from repro.core.lifetime import PageLifetimeMonitor
 from repro.core.oversubscription import ThreadOversubscriptionController
@@ -33,6 +34,7 @@ from repro.gpu.occupancy import OccupancyCalculator
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.gpu.thread_block import BlockState, ThreadBlock
 from repro.gpu.warp import Warp, WarpState
+from repro.invariants import InvariantChecker, Watchdog
 from repro.obs import current as _current_obs
 from repro.sim.engine import Engine
 from repro.uvm.compression import CapacityCompression
@@ -171,6 +173,26 @@ class GpuUvmSimulator:
         self.runtime.fault_buffer.obs = self.obs
         self.pcie.attach_obs(self.obs)
 
+        #: Fault-injection session (:mod:`repro.chaos`); built from
+        #: ``config.chaos`` and attached to every injection site.  None
+        #: keeps each site a single pointer test.
+        self.chaos: ChaosSession | None = None
+        if config.chaos is not None:
+            self.chaos = ChaosSession(config.chaos, obs=self.obs)
+            self.runtime.chaos = self.chaos
+            self.runtime.fault_buffer.chaos = self.chaos
+            self.pcie.attach_chaos(self.chaos)
+
+        #: Batch-boundary consistency checker (:mod:`repro.invariants`).
+        self.invariants: InvariantChecker | None = None
+        if config.check_invariants:
+            self.invariants = InvariantChecker(
+                memory=self.memory,
+                page_table=self.page_table,
+                runtime=self.runtime,
+            )
+            self.runtime.invariants = self.invariants
+
         self.to_controller = ThreadOversubscriptionController(config.to)
         self.lifetime_monitor = PageLifetimeMonitor(
             self.engine,
@@ -207,11 +229,29 @@ class GpuUvmSimulator:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, max_events: int | None = None) -> SimulationResult:
-        """Run every kernel to completion and return the results."""
+    def run(
+        self,
+        max_events: int | None = None,
+        wall_budget_seconds: float | None = None,
+    ) -> SimulationResult:
+        """Run every kernel to completion and return the results.
+
+        ``wall_budget_seconds`` arms an engine watchdog that raises
+        :class:`~repro.errors.SimulationStalledError` (with a diagnostic
+        state snapshot) if the run exceeds the real-time budget — the
+        mechanism behind the experiment runner's per-cell timeout.  A
+        watchdog is also armed when ``config.check_invariants`` is on, to
+        catch event livelock (many events without simulated time
+        advancing).
+        """
         if self._ran:
             raise SimulationError("simulator instances are single-use")
         self._ran = True
+        if wall_budget_seconds is not None or self.config.check_invariants:
+            self.engine.watchdog = Watchdog(
+                wall_budget_seconds=wall_budget_seconds,
+                snapshot=self.state_snapshot,
+            )
         previous_scope = None
         if self.obs is not None:
             # Each run gets its own scope (a named process group in the
@@ -236,6 +276,8 @@ class GpuUvmSimulator:
                     f"{self._dispatcher.unfinished if self._dispatcher else '?'} "
                     "blocks unfinished"
                 )
+            if self.invariants is not None:
+                self.invariants.on_quiescence(self.engine.now)
             return self._build_result()
         finally:
             if self.obs is not None:
@@ -485,6 +527,19 @@ class GpuUvmSimulator:
         self.mmu.invalidate(page)
 
     # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Merged engine + runtime state for stall/failure reports."""
+        snapshot = self.engine.state_snapshot()
+        snapshot.update(self.runtime.state_snapshot())
+        snapshot["workload"] = self.workload.name
+        snapshot["kernel"] = f"{self._kernel_index}/{len(self.workload.kernels)}"
+        if self._dispatcher is not None:
+            snapshot["blocks_unfinished"] = self._dispatcher.unfinished
+        return snapshot
+
+    # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
     def _flush_obs(self, result: SimulationResult) -> None:
@@ -545,6 +600,18 @@ class GpuUvmSimulator:
                 "runahead_faults": self._runahead_faults,
             },
         )
+        if self.chaos is not None:
+            fb = self.runtime.fault_buffer
+            result.extras["chaos.total_injections"] = self.chaos.total_injections
+            for kind, count in sorted(self.chaos.injection_counts().items()):
+                result.extras[f"chaos.{kind}"] = count
+            result.extras["chaos.faults_dropped"] = fb.chaos_dropped
+            result.extras["chaos.faults_duplicated"] = fb.chaos_duplicated
+            result.extras["chaos.dma_stall_cycles"] = (
+                self.pcie.h2d.stall_cycles + self.pcie.d2h.stall_cycles
+            )
+        if self.invariants is not None:
+            result.extras["invariant_checks"] = self.invariants.checks_run
         if self.obs is not None:
             self._flush_obs(result)
         return result

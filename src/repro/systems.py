@@ -43,6 +43,8 @@ class SystemPreset:
         ratio: float = 0.5,
         fault_handling_cycles: int | None = None,
         seed: int = 0,
+        chaos=None,
+        check_invariants: bool = False,
     ) -> SimConfig:
         """Size GPU memory to ``ratio`` x the workload footprint.
 
@@ -59,6 +61,10 @@ class SystemPreset:
         switch cost vs. batch time) identical to the full-scale system.
         ``fault_handling_cycles`` is always given in paper units (e.g.
         Figure 18's 20 000-50 000 cycles) regardless of scale.
+
+        ``chaos`` (a :class:`repro.chaos.ChaosConfig`) and
+        ``check_invariants`` thread the robustness layer through to the
+        simulator; both are inert by default.
         """
         config = self.base
         page_size = workload.address_space.page_size
@@ -107,7 +113,15 @@ class SystemPreset:
             epoch_cycles=cycles(config.etc.epoch_cycles, floor=500),
         )
         config = replace(
-            config, uvm=uvm, gpu=gpu, to=to, etc=etc, seed=seed, time_scale=scale
+            config,
+            uvm=uvm,
+            gpu=gpu,
+            to=to,
+            etc=etc,
+            seed=seed,
+            time_scale=scale,
+            chaos=chaos,
+            check_invariants=check_invariants,
         )
         if self.base.uvm.gpu_memory_bytes is None and ratio >= 1.0:
             return config.with_memory_bytes(None)

@@ -40,20 +40,43 @@ class FaultBuffer:
         self.total_faults = 0
         self.overflow_faults = 0
         self.peak_occupancy = 0
+        self.chaos_dropped = 0
+        self.chaos_duplicated = 0
         #: Optional :class:`repro.obs.Observability` session (occupancy
         #: gauge, overflow markers); None keeps push/drain un-instrumented.
         self.obs = None
+        #: Optional :class:`repro.chaos.ChaosSession`; when set, pushes may
+        #: be dropped (lost replayable faults) or duplicated (replay
+        #: storms).  None keeps the push path unperturbed.
+        self.chaos = None
 
-    def push(self, entry: FaultEntry) -> bool:
+    def push(self, entry: FaultEntry, *, replay: bool = False) -> bool:
         """Append a fault entry; returns False when the buffer is full.
 
         A full buffer drops the entry — the warp's access replays and
         refaults after the buffer drains, which the simulator models by the
-        warp staying stalled until its page arrives anyway; we only track
-        the overflow for statistics.
+        warp staying stalled until its page arrived anyway; we only track
+        the overflow for statistics.  A chaos session may likewise drop
+        the entry (returning False) or duplicate it; duplicates occupy
+        real capacity, exactly like multiple warps faulting on one page.
+
+        ``replay=True`` marks an entry re-raised by the MMU's replay
+        mechanism for a previously lost fault; it is exempt from chaos
+        (a drop models losing one buffer write, not the page forever —
+        unbounded re-drops would deadlock the waiting warps).
         """
         self.total_faults += 1
         obs = self.obs
+        chaos = self.chaos
+        if chaos is not None and not replay:
+            action = chaos.fault_entry_action(entry.page, entry.time)
+            if action == "drop":
+                self.chaos_dropped += 1
+                return False
+            if action == "dup" and len(self._entries) < self.capacity:
+                self.chaos_duplicated += 1
+                self._entries.append(entry)
+                self._pages.add(entry.page)
         if len(self._entries) >= self.capacity:
             self.overflow_faults += 1
             if obs is not None:

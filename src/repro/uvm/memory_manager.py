@@ -79,13 +79,24 @@ class GpuMemoryManager:
         not here.
         """
         if page in self._alloc_time:
-            raise SimulationError(f"page {page:#x} already has a frame")
+            raise SimulationError(
+                "page already has a frame (double allocate)",
+                page=hex(page),
+                allocated_at=self._alloc_time[page],
+                now=now,
+            )
         if self.unlimited:
             frame = self._next_unbounded_frame
             self._next_unbounded_frame += 1
         else:
             if not self._free_frames:
-                raise SimulationError("allocate() with no free frame; evict first")
+                raise SimulationError(
+                    "allocate() with no free frame; evict first",
+                    page=hex(page),
+                    resident=len(self._alloc_time),
+                    capacity=self.capacity,
+                    now=now,
+                )
             frame = self._free_frames.pop()
         self._alloc_time[page] = now
         self._dirty.discard(page)  # a fresh copy starts clean
@@ -96,11 +107,20 @@ class GpuMemoryManager:
     def evict(self, page: int, now: int) -> int:
         """Evict ``page``; returns its lifetime in cycles."""
         if page in self._pinned:
-            raise SimulationError(f"page {page:#x} is pinned and cannot be evicted")
+            raise SimulationError(
+                "page is pinned and cannot be evicted",
+                page=hex(page),
+                pinned=len(self._pinned),
+                now=now,
+            )
         try:
             allocated_at = self._alloc_time.pop(page)
         except KeyError:
-            raise SimulationError(f"page {page:#x} is not resident") from None
+            raise SimulationError(
+                "cannot evict a page that is not resident",
+                page=hex(page),
+                now=now,
+            ) from None
         self.policy.remove(page)
         self._ever_evicted.add(page)
         self._dirty.discard(page)
@@ -165,3 +185,18 @@ class GpuMemoryManager:
 
     def is_resident(self, page: int) -> bool:
         return page in self._alloc_time
+
+    # ------------------------------------------------------------------
+    # Introspection (invariant checking, diagnostics)
+    # ------------------------------------------------------------------
+    def resident_set(self) -> frozenset[int]:
+        """The pages currently holding frames."""
+        return frozenset(self._alloc_time)
+
+    def pinned_pages(self) -> frozenset[int]:
+        """Pages pinned against eviction (in-flight batch migrations)."""
+        return frozenset(self._pinned)
+
+    def free_frame_ids(self) -> tuple[int, ...]:
+        """The free frame pool (empty for unlimited memory)."""
+        return tuple(self._free_frames)

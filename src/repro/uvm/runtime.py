@@ -80,6 +80,12 @@ class UvmRuntime:
         #: lifecycle spans, fault→arrival latency histograms, eviction
         #: markers).  None keeps the fault/migration path un-instrumented.
         self.obs = None
+        #: Optional :class:`repro.chaos.ChaosSession` perturbing the
+        #: fault-handling window, eviction durations, and batch opening.
+        self.chaos = None
+        #: Optional :class:`repro.invariants.InvariantChecker` validated
+        #: at batch boundaries; None costs one pointer test per batch.
+        self.invariants = None
         #: First-fault time per in-flight page, for the fault→arrival
         #: latency histogram; populated only while ``obs`` is attached.
         self._fault_times: dict[int, int] = {}
@@ -129,13 +135,33 @@ class UvmRuntime:
     def _begin_batch(self) -> None:
         self._interrupt_pending = False
         if self._busy:
-            raise SimulationError("batch begin while runtime busy")
+            raise SimulationError(
+                "batch begin while runtime busy",
+                open_batch=self._current.index if self._current else None,
+                next_batch=self.batch_stats.num_batches,
+                buffered_entries=len(self.fault_buffer),
+                now=self.engine.now,
+            )
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.on_batch_begin(self.batch_stats.num_batches, self.engine.now)
+        inv = self.invariants
+        if inv is not None:
+            inv.on_batch_begin(self.batch_stats.num_batches, self.engine.now)
         entries = self.fault_buffer.drain()
         pages, n_entries = self._preprocess(entries)
         if not pages:
-            # Every drained entry was stale (page already resident); the
-            # runtime returns to idle and the next fault raises a new
-            # interrupt.
+            # Every drained entry was stale (page already resident) — or
+            # was dropped before it reached the buffer (overflow, chaos
+            # drop-fault).  Replay faults for any page that still has
+            # sleeping waiters so its warps are not stranded, then return
+            # to idle; the replayed entries re-arm the interrupt path.
+            self._replay_missing_waiters()
+            if not self.fault_buffer.empty and not self._interrupt_pending:
+                self._interrupt_pending = True
+                self.engine.schedule(
+                    self.uvm.interrupt_latency_cycles, self._begin_batch
+                )
             return
 
         self._busy = True
@@ -162,6 +188,8 @@ class UvmRuntime:
         all_pages = sorted(set(pages) | set(prefetched))
 
         fht = self.fault_handling_cycles(len(all_pages))
+        if chaos is not None:
+            fht = chaos.perturb_fault_handling(fht, now)
         migration_start = now + fht
         free = self.memory.free_frames if not self.memory.unlimited else 0
         needed = (
@@ -265,6 +293,13 @@ class UvmRuntime:
                 durations.append(1)  # unmap only; no transfer
             else:
                 durations.append(self.pcie.d2h_duration(victim))
+        chaos = self.chaos
+        if chaos is not None:
+            # Eviction-path contention: selected D2H transfers take a
+            # multiple of their modelled time, stretching the window the
+            # eviction strategies must hide.
+            now = self.engine.now
+            durations = [chaos.evict_duration(d, now) for d in durations]
         return victims, durations
 
     def _preprocess(self, entries: list[FaultEntry]) -> tuple[list[int], int]:
@@ -319,7 +354,11 @@ class UvmRuntime:
     def _release_frame(self) -> None:
         """The eviction's D2H transfer finished; the frame becomes free."""
         if not self._pending_frames:
-            raise SimulationError("frame release without a pending eviction")
+            raise SimulationError(
+                "frame release without a pending eviction",
+                batch=self._current.index if self._current else None,
+                now=self.engine.now,
+            )
         frame = self._pending_frames.pop(0)
         if frame is not None:  # None: skipped eviction (see _evict_one)
             self.memory.release_frame(frame)
@@ -334,8 +373,11 @@ class UvmRuntime:
             # spinning forever.
             if attempt > 1000:
                 raise SimulationError(
-                    f"page {page:#x} arrived but no frame freed after "
-                    f"{attempt} retries"
+                    "page arrived but no frame freed",
+                    page=hex(page),
+                    retries=attempt,
+                    batch=self._current.index if self._current else None,
+                    now=now,
                 )
             self.engine.schedule(
                 max(1, self.pcie.d2h_cycles_per_page // 4),
@@ -365,7 +407,11 @@ class UvmRuntime:
     def _end_batch(self) -> None:
         record = self._current
         if record is None:
-            raise SimulationError("batch end without an open batch")
+            raise SimulationError(
+                "batch end without an open batch",
+                completed_batches=self.batch_stats.num_batches,
+                now=self.engine.now,
+            )
         record.end_time = self.engine.now
         self.batch_stats.add(record)
         self._current = None
@@ -388,22 +434,59 @@ class UvmRuntime:
                 evicted=record.evicted_pages,
             )
         self.on_batch_end(record)
-        # Hardware fault replay: entries dropped on buffer overflow are
-        # re-raised by the replaying MMU.  Any page that still has waiters,
-        # is not resident, and has no buffered entry gets one now —
-        # otherwise its warps would sleep forever.
-        for page in self._waiters:
-            if not self.page_table.is_resident(page) and not (
-                self.fault_buffer.contains_page(page)
-            ):
-                self.fault_buffer.push(FaultEntry(page, None, self.engine.now))
+        self._replay_missing_waiters()
+        inv = self.invariants
+        if inv is not None:
+            inv.on_batch_end(record.index, self.engine.now)
         # Figure 2 step 5: waiting page faults are handled immediately,
         # skipping the interrupt round-trip.
         if not self.fault_buffer.empty:
             self._begin_batch()
 
+    def _replay_missing_waiters(self) -> None:
+        """Hardware fault replay: entries dropped before reaching the
+        batch (buffer overflow, chaos drop-fault) are re-raised by the
+        replaying MMU.  Any page that still has waiters, is not resident,
+        and has no buffered entry gets a fresh entry now — otherwise its
+        warps would sleep forever."""
+        for page in self._waiters:
+            if not self.page_table.is_resident(page) and not (
+                self.fault_buffer.contains_page(page)
+            ):
+                self.fault_buffer.push(
+                    FaultEntry(page, None, self.engine.now), replay=True
+                )
+
     # ------------------------------------------------------------------
-    # Introspection
+    # Introspection (invariant checking, diagnostics)
     # ------------------------------------------------------------------
     def waiting_pages(self) -> frozenset[int]:
         return frozenset(self._waiters)
+
+    @property
+    def open_batch_index(self) -> int | None:
+        """Index of the batch being processed, or None when idle."""
+        return self._current.index if self._current is not None else None
+
+    @property
+    def remaining_arrivals(self) -> int:
+        """Migrations still in flight for the open batch."""
+        return self._remaining_arrivals if self._busy else 0
+
+    @property
+    def pending_frame_count(self) -> int:
+        """Frames unmapped but whose eviction transfer hasn't finished."""
+        return len(self._pending_frames)
+
+    def state_snapshot(self) -> dict:
+        """Diagnostic snapshot for stall/failure reports."""
+        return {
+            "busy": self._busy,
+            "open_batch": self.open_batch_index,
+            "completed_batches": self.batch_stats.num_batches,
+            "remaining_arrivals": self._remaining_arrivals,
+            "buffered_entries": len(self.fault_buffer),
+            "waiting_pages": len(self._waiters),
+            "pending_frames": len(self._pending_frames),
+            "faults_raised": self.faults_raised,
+        }

@@ -24,25 +24,50 @@ class DmaChannel:
 
     def __init__(self, name: str, cycles_per_page: int) -> None:
         if cycles_per_page <= 0:
-            raise SimulationError("cycles_per_page must be positive")
+            raise SimulationError(
+                "cycles_per_page must be positive",
+                channel=name,
+                cycles_per_page=cycles_per_page,
+            )
         self.name = name
         self.cycles_per_page = cycles_per_page
         self.busy_until = 0
         self.pages_transferred = 0
         self.busy_cycles = 0
+        self.stall_retries = 0
+        self.stall_cycles = 0
         #: Optional :class:`repro.obs.Observability` session; when set,
         #: every transfer becomes a span on the ``dma.<name>`` track.
         self.obs = None
+        #: Optional :class:`repro.chaos.ChaosSession`; when set, transfers
+        #: may stall/fail and retry with exponential backoff (the
+        #: ``dma-stall`` injector).  None keeps enqueue unperturbed.
+        self.chaos = None
         self._track = f"dma.{name}"
 
     def enqueue(self, now: int, duration: int | None = None) -> tuple[int, int]:
-        """Enqueue one page transfer at ``now``; return (start, finish)."""
+        """Enqueue one page transfer at ``now``; return (start, finish).
+
+        Under chaos injection a transfer may fail: each failed attempt
+        occupies the channel for its duration plus a backoff delay before
+        the retransfer, so a stalled DMA pushes back everything queued
+        behind it — exactly the head-of-line blocking a real replayed
+        descriptor causes.
+        """
         duration = self.cycles_per_page if duration is None else duration
+        total = duration
+        chaos = self.chaos
+        if chaos is not None:
+            extra = chaos.dma_attempts(self.name, duration, now)
+            if extra:
+                self.stall_retries += 1
+                self.stall_cycles += extra
+                total += extra
         start = max(now, self.busy_until)
-        finish = start + duration
+        finish = start + total
         self.busy_until = finish
         self.pages_transferred += 1
-        self.busy_cycles += duration
+        self.busy_cycles += total
         if self.obs is not None:
             self.obs.tracer.complete(self._track, "page transfer", start, finish)
         return start, finish
@@ -64,7 +89,7 @@ class PcieModel:
         self._uvm = uvm
         ratio = uvm.pcie_compression_ratio if uvm.pcie_compression else 1.0
         if ratio < 1.0:
-            raise SimulationError("compression ratio must be >= 1")
+            raise SimulationError("compression ratio must be >= 1", ratio=ratio)
         self.compression_ratio = ratio
         self.compression = None
         if uvm.pcie_compression:
@@ -85,6 +110,11 @@ class PcieModel:
         """Route both channels' transfer spans to an obs session."""
         self.h2d.obs = obs
         self.d2h.obs = obs
+
+    def attach_chaos(self, chaos) -> None:
+        """Route both channels through a chaos session (DMA stalls)."""
+        self.h2d.chaos = chaos
+        self.d2h.chaos = chaos
 
     @property
     def h2d_cycles_per_page(self) -> int:

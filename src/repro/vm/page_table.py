@@ -37,12 +37,19 @@ class PageTable:
         try:
             return self._frames[page]
         except KeyError:
-            raise SimulationError(f"page {page:#x} is not resident") from None
+            raise SimulationError(
+                "page is not resident", page=hex(page)
+            ) from None
 
     def map(self, page: int, frame: int) -> None:
         """Install a mapping after a migration completes."""
         if page in self._frames:
-            raise SimulationError(f"page {page:#x} is already mapped")
+            raise SimulationError(
+                "page is already mapped",
+                page=hex(page),
+                existing_frame=self._frames[page],
+                new_frame=frame,
+            )
         self._frames[page] = frame
         self.maps += 1
 
@@ -51,7 +58,9 @@ class PageTable:
         try:
             frame = self._frames.pop(page)
         except KeyError:
-            raise SimulationError(f"page {page:#x} is not mapped") from None
+            raise SimulationError(
+                "page is not mapped", page=hex(page)
+            ) from None
         self.version += 1
         self._versions[page] = self._versions.get(page, 0) + 1
         self.unmaps += 1
@@ -67,3 +76,7 @@ class PageTable:
 
     def resident_set(self) -> frozenset[int]:
         return frozenset(self._frames)
+
+    def frame_map(self) -> dict[int, int]:
+        """Snapshot of the page -> frame mapping (invariant checking)."""
+        return dict(self._frames)

@@ -1,0 +1,190 @@
+"""Error taxonomy: context-rich messages, pickling, recovery paths."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    CellFailure,
+    ConfigError,
+    InjectionError,
+    InvariantViolation,
+    ReproError,
+    SimulationError,
+    SimulationStalledError,
+)
+from repro.sim.engine import Engine
+from repro.uvm.memory_manager import GpuMemoryManager
+from repro.uvm.replacement import AgedLru
+from repro.vm.page_table import PageTable
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(InjectionError, ConfigError)
+        assert issubclass(InvariantViolation, SimulationError)
+        assert issubclass(SimulationStalledError, SimulationError)
+        assert issubclass(CellFailure, ReproError)
+        for cls in (ConfigError, SimulationError, CellFailure):
+            assert issubclass(cls, ReproError)
+
+    def test_context_folded_into_message(self):
+        err = SimulationError("page not resident", page="0x4000", frame=3)
+        assert str(err) == "page not resident (page=0x4000, frame=3)"
+        assert err.context == {"page": "0x4000", "frame": 3}
+
+    def test_context_survives_pickling(self):
+        """Worker-process errors cross a pickle boundary; the message —
+        context included — must arrive intact."""
+        err = SimulationError("boom", batch=7, now=12345)
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == str(err)
+
+    def test_cell_failure_round_trips_through_pickle(self):
+        failure = CellFailure(
+            "it broke",
+            workload="PR",
+            system="ETC",
+            attempts=3,
+            error_type="OSError",
+            scale="tiny",
+        )
+        clone = pickle.loads(pickle.dumps(failure))
+        assert str(clone) == str(failure)
+        assert "PR/ETC" in failure.summary()
+
+
+class TestMemoryManagerErrors:
+    def test_double_allocate_names_the_page(self):
+        mm = GpuMemoryManager(4, AgedLru())
+        mm.allocate(0x1000, now=10)
+        with pytest.raises(SimulationError, match="0x1000") as excinfo:
+            mm.allocate(0x1000, now=20)
+        assert excinfo.value.context["allocated_at"] == 10
+
+    def test_allocate_without_free_frame(self):
+        mm = GpuMemoryManager(1, AgedLru())
+        mm.allocate(0x1000, now=0)
+        with pytest.raises(SimulationError, match="evict first"):
+            mm.allocate(0x2000, now=1)
+
+    def test_pinned_page_refuses_eviction(self):
+        mm = GpuMemoryManager(2, AgedLru())
+        mm.allocate(0x1000, now=0)
+        mm.pin(0x1000)
+        with pytest.raises(SimulationError, match="pinned"):
+            mm.evict(0x1000, now=5)
+        mm.unpin(0x1000)
+        assert mm.evict(0x1000, now=5) == 5  # lifetime
+
+    def test_evicting_non_resident_page(self):
+        mm = GpuMemoryManager(2, AgedLru())
+        with pytest.raises(SimulationError, match="not resident"):
+            mm.evict(0x1000, now=0)
+
+
+class TestPageTableErrors:
+    def test_double_map_names_both_frames(self):
+        table = PageTable()
+        table.map(0x1000, 0)
+        with pytest.raises(SimulationError) as excinfo:
+            table.map(0x1000, 1)
+        assert excinfo.value.context["existing_frame"] == 0
+        assert excinfo.value.context["new_frame"] == 1
+
+    def test_unmap_missing_page(self):
+        table = PageTable()
+        with pytest.raises(SimulationError, match="0x2000"):
+            table.unmap(0x2000)
+
+    def test_frame_of_missing_page(self):
+        table = PageTable()
+        with pytest.raises(SimulationError, match="not resident"):
+            table.frame_of(0x3000)
+
+
+class TestEngineRecovery:
+    def test_reentrancy_latch_cleared_after_exception(self):
+        """Regression: ``run()`` must release its reentrancy latch in a
+        ``finally`` — an engine whose event handler raised is still
+        usable (the experiment harness reuses the process after a failed
+        cell)."""
+        engine = Engine()
+
+        def explode():
+            raise SimulationError("handler died")
+
+        engine.schedule(1, explode)
+        with pytest.raises(SimulationError, match="handler died"):
+            engine.run()
+
+        ran = []
+        engine.schedule(1, lambda: ran.append(True))
+        engine.run()  # must not raise "engine.run() is not reentrant"
+        assert ran == [True]
+
+    def test_watchdog_exception_also_releases_the_latch(self):
+        from repro.invariants import Watchdog
+
+        engine = Engine()
+
+        def spin():
+            engine.schedule(0, spin)
+
+        engine.schedule(0, spin)
+        engine.watchdog = Watchdog(stall_events=10)
+        with pytest.raises(SimulationStalledError):
+            engine.run()
+        engine.watchdog = None
+        # The spin event is still queued; a bounded run drains some of it
+        # without tripping the (removed) watchdog or the latch.
+        engine.run(max_events=5)
+
+    def test_batch_begin_while_busy_is_contextual(self):
+        """The runtime's reentrancy error names the open batch and clock —
+        enough to debug a scheduling bug from the message alone."""
+        from repro import GpuUvmSimulator, build_workload, systems
+
+        workload = build_workload("BFS-TTC", scale="tiny", seed=0)
+        config = systems.BASELINE.configure(workload, ratio=0.5)
+        sim = GpuUvmSimulator(workload, config)
+        runtime = sim.runtime
+        runtime._busy = True  # simulate a mid-batch state
+        with pytest.raises(SimulationError, match="busy") as excinfo:
+            runtime._begin_batch()
+        assert "now=" in str(excinfo.value)
+        runtime._busy = False
+
+
+class TestFaultBufferAccounting:
+    def test_overflow_keeps_counters_consistent(self):
+        from repro.uvm.fault_buffer import FaultBuffer, FaultEntry
+
+        buffer = FaultBuffer(capacity=2)
+        assert buffer.push(FaultEntry(0x1000, None, 0))
+        assert buffer.push(FaultEntry(0x2000, None, 1))
+        assert not buffer.push(FaultEntry(0x3000, None, 2))  # full: dropped
+        assert buffer.total_faults == 3
+        assert buffer.overflow_faults == 1
+        assert len(buffer) == 2
+        assert buffer.peak_occupancy == 2
+
+    def test_replay_push_bypasses_chaos_drops(self):
+        from repro.chaos import ChaosSession
+        from repro.chaos.config import parse_chaos_spec
+        from repro.uvm.fault_buffer import FaultBuffer, FaultEntry
+
+        buffer = FaultBuffer(capacity=8)
+        buffer.chaos = ChaosSession(
+            parse_chaos_spec("drop-fault:prob=1.0", seed=0)
+        )
+        assert not buffer.push(FaultEntry(0x1000, None, 0))  # always dropped
+        assert buffer.push(FaultEntry(0x1000, None, 1), replay=True)
+        assert buffer.chaos_dropped == 1
+        assert len(buffer) == 1
+
+    def test_zero_capacity_rejected(self):
+        from repro.uvm.fault_buffer import FaultBuffer
+
+        with pytest.raises(ConfigError):
+            FaultBuffer(capacity=0)

@@ -94,11 +94,12 @@ class TestCacheKey:
         full run must not satisfy a lower-capped call — the capped call
         still hits its cap (the simulator raises on incomplete runs)
         instead of silently returning the full-run result."""
-        from repro.errors import SimulationError
+        from repro.errors import CellFailure, SimulationError
 
         full = _run()
-        with pytest.raises(SimulationError):
+        with pytest.raises(CellFailure) as excinfo:
             _run(max_events=200)
+        assert isinstance(excinfo.value.__cause__, SimulationError)
         common.clear_run_cache()
         full_again = _run()
         assert full_again.events_processed == full.events_processed
