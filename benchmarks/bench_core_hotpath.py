@@ -1,0 +1,285 @@
+"""Event-core hot-path benchmark: two-level Engine vs HeapEngine.
+
+Measures the fast-path rework's speedup as a *ratio* against the in-tree
+reference implementation (:class:`repro.sim.HeapEngine`, the seed's
+single-heap loop kept verbatim), so the number is comparable across
+machines — absolute events/sec are recorded informationally.
+
+Three synthetic storms bracket the traffic shapes the simulator
+generates, plus end-to-end tiny-scale simulation cells run twice — once
+with the production engine, once with ``repro.simulator.Engine``
+re-pointed at :class:`HeapEngine` — to show the whole-simulation effect.
+The e2e pass doubles as an equivalence smoke test: both engines must
+produce identical :class:`~repro.simulator.SimulationResult` fields (the
+full lock is ``tests/test_equivalence_golden.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core_hotpath.py             # full run, writes BENCH_core.json
+    PYTHONPATH=src python benchmarks/bench_core_hotpath.py --quick     # CI-sized run, no file written
+    PYTHONPATH=src python benchmarks/bench_core_hotpath.py --quick --check BENCH_core.json
+
+``--check`` compares the measured micro speedup ratio against the
+committed baseline and exits non-zero when it regressed by more than
+``--tolerance`` (default 25%) — the CI perf gate (see
+``.github/workflows/ci.yml`` and ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import pathlib
+import sys
+import time
+
+from repro import build_workload, systems
+import repro.simulator as simulator_mod
+from repro.sim.engine import Engine, HeapEngine
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_core.json"
+
+#: End-to-end cells: one batching-heavy traversal and one small-batch
+#: degenerate case, both tiny-scale and deterministic.
+E2E_CELLS = [("TO+UE", "BFS-TTC"), ("BASELINE", "KCORE")]
+
+
+# ----------------------------------------------------------------------
+# Micro storms: each schedules ``n`` events into a fresh engine and
+# drains them, returning (wall seconds, events fired).  Shapes mirror
+# the simulator's traffic: dense same-cycle warp wavefronts, serial
+# dependent chains, and batch-style far-future arrivals mixed with
+# near-term compute.
+# ----------------------------------------------------------------------
+def storm_dense_wavefront(engine, n: int) -> tuple[float, int]:
+    """32 events per cycle (a warp wavefront) rescheduling themselves."""
+    width = 32
+    rounds = [n // width]
+
+    def tick() -> None:
+        pass
+
+    def advance() -> None:
+        rounds[0] -= 1
+        if rounds[0] > 0:
+            for _ in range(width - 1):
+                engine.schedule(1, tick)
+            engine.schedule(1, advance)
+
+    for _ in range(width - 1):
+        engine.schedule(0, tick)
+    engine.schedule(0, advance)
+    start = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - start, engine.events_processed
+
+
+def storm_serial_chain(engine, n: int) -> tuple[float, int]:
+    """One self-rescheduling event, delay 1 — pure per-event overhead."""
+    remaining = [n]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.schedule(1, tick)
+
+    engine.schedule(0, tick)
+    start = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - start, engine.events_processed
+
+
+def storm_mixed_horizon(engine, n: int) -> tuple[float, int]:
+    """Near-term compute mixed with far-future batch-style arrivals.
+
+    Every 16th event schedules its successor ~2 near-windows out (like a
+    migration arrival or batch window), exercising the far heap and the
+    far->bucket migration path; the rest stay near.
+    """
+    remaining = [n]
+    counter = [0]
+    far_delay = 10_000  # beyond the default 4096-cycle near window
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            counter[0] += 1
+            delay = far_delay if counter[0] % 16 == 0 else (counter[0] % 64) + 1
+            engine.schedule(delay, tick)
+
+    engine.schedule(0, tick)
+    start = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - start, engine.events_processed
+
+
+MICRO_STORMS = [
+    ("dense_wavefront", storm_dense_wavefront),
+    ("serial_chain", storm_serial_chain),
+    ("mixed_horizon", storm_mixed_horizon),
+]
+
+
+def run_micro(storm, n_events: int, repeats: int) -> tuple[float, float]:
+    """Best-of events/sec for one storm on both engine classes.
+
+    Repeats interleave the two engines back-to-back, alternating which
+    goes first, so minute-scale machine-frequency drift biases neither
+    side of the reported ratio.
+    """
+    best = {Engine: math.inf, HeapEngine: math.inf}
+    for i in range(repeats):
+        order = (HeapEngine, Engine) if i % 2 == 0 else (Engine, HeapEngine)
+        for engine_cls in order:
+            seconds, fired = storm(engine_cls(), n_events)
+            best[engine_cls] = min(best[engine_cls], seconds / fired)
+    return 1.0 / best[Engine], 1.0 / best[HeapEngine]  # events per second
+
+
+# ----------------------------------------------------------------------
+# End-to-end: full tiny-scale simulations under each engine.
+# ----------------------------------------------------------------------
+def timed_e2e(engine_cls, system: str, workload: str) -> tuple[float, int, dict]:
+    wl = build_workload(workload, scale="tiny", seed=0)
+    config = systems.by_name(system).configure(wl, ratio=0.5)
+    original = simulator_mod.Engine
+    simulator_mod.Engine = engine_cls
+    try:
+        sim = simulator_mod.GpuUvmSimulator(wl, config)
+        start = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - start
+    finally:
+        simulator_mod.Engine = original
+    encoded = dataclasses.asdict(result)
+    encoded.pop("batch_stats")
+    return elapsed, sim.engine.events_processed, encoded
+
+
+def geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def collect(quick: bool) -> dict:
+    n_events = 50_000 if quick else 300_000
+    repeats = 3 if quick else 5
+    cells = E2E_CELLS[:1] if quick else E2E_CELLS
+
+    micro = {}
+    for name, storm in MICRO_STORMS:
+        engine_eps, heap_eps = run_micro(storm, n_events, repeats)
+        micro[name] = {
+            "engine_events_per_sec": round(engine_eps),
+            "heap_events_per_sec": round(heap_eps),
+            "speedup": round(engine_eps / heap_eps, 3),
+        }
+        print(
+            f"micro {name:>16}: {engine_eps / 1e6:6.2f} M ev/s vs "
+            f"heap {heap_eps / 1e6:6.2f} M ev/s "
+            f"({micro[name]['speedup']:.2f}x)"
+        )
+
+    e2e = {}
+    e2e_repeats = 1 if quick else 3
+    for system, workload in cells:
+        heap_s = eng_s = math.inf
+        for _ in range(e2e_repeats):
+            h_s, heap_events, heap_result = timed_e2e(
+                HeapEngine, system, workload
+            )
+            e_s, eng_events, eng_result = timed_e2e(Engine, system, workload)
+            if eng_result != heap_result or eng_events != heap_events:
+                raise SystemExit(
+                    f"ENGINE DIVERGENCE on {system}/{workload}: the two "
+                    "engines produced different results — run "
+                    "tests/test_equivalence_golden.py"
+                )
+            heap_s = min(heap_s, h_s)
+            eng_s = min(eng_s, e_s)
+        key = f"{system}/{workload}"
+        e2e[key] = {
+            "engine_seconds": round(eng_s, 4),
+            "heap_seconds": round(heap_s, 4),
+            "events": eng_events,
+            "speedup": round(heap_s / eng_s, 3),
+        }
+        print(
+            f"e2e {key:>16}: {eng_s:6.2f}s vs heap {heap_s:6.2f}s "
+            f"({e2e[key]['speedup']:.2f}x, {eng_events:,} events)"
+        )
+
+    report = {
+        "schema": 1,
+        "quick": quick,
+        "micro": micro,
+        "micro_speedup_geomean": round(
+            geomean([m["speedup"] for m in micro.values()]), 3
+        ),
+        "e2e": e2e,
+        "e2e_speedup_geomean": round(
+            geomean([c["speedup"] for c in e2e.values()]), 3
+        ),
+    }
+    print(
+        f"geomean speedup: micro {report['micro_speedup_geomean']:.2f}x, "
+        f"e2e {report['e2e_speedup_geomean']:.2f}x"
+    )
+    return report
+
+
+def check_against(report: dict, baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    committed = baseline["micro_speedup_geomean"]
+    measured = report["micro_speedup_geomean"]
+    floor = committed * (1.0 - tolerance)
+    print(
+        f"perf gate: measured micro speedup {measured:.2f}x vs committed "
+        f"{committed:.2f}x (floor {floor:.2f}x at {tolerance:.0%} tolerance)"
+    )
+    if measured < floor:
+        print(
+            "PERF REGRESSION: the fast-path engine's speedup over the "
+            "in-tree HeapEngine baseline dropped by more than "
+            f"{tolerance:.0%}. If the engine change is intentional, rerun "
+            "`PYTHONPATH=src python benchmarks/bench_core_hotpath.py` and "
+            "commit the refreshed BENCH_core.json (see docs/performance.md).",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (fewer events/repeats, one e2e cell); skips writing",
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, metavar="BASELINE",
+        help="compare against a committed BENCH_core.json; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional drop in the micro speedup geomean (default 0.25)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT,
+        help=f"output path for the full-run report (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    report = collect(quick=args.quick)
+    if args.check is not None:
+        return check_against(report, args.check, args.tolerance)
+    if not args.quick:
+        args.out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

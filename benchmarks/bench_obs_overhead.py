@@ -6,9 +6,13 @@ A guard's cost is too small to resolve inside one real simulation run
 (run-to-run noise swamps it), so we measure it directly:
 
 1. A **bare engine replica** (the pre-instrumentation event loop, inlined
-   below) and the real :class:`repro.sim.Engine` with ``obs=None`` each
-   drain the same synthetic event storm; the timing delta is the guard
-   cost per event.
+   below) and the reference :class:`repro.sim.HeapEngine` each drain the
+   same synthetic event storm; the timing delta is the guard cost per
+   event on the loop architecture that actually carries per-event guards.
+   (The production :class:`~repro.sim.Engine` hoists the ``obs`` test out
+   of its fast loop entirely when no session is attached — see
+   ``docs/performance.md`` — so this per-event estimate is an upper
+   bound for it.)
 2. A real tiny run with obs off gives events-processed and wall-clock.
    Estimated overhead = guard cost x events x guard sites / runtime.
 
@@ -24,7 +28,7 @@ import time
 
 from repro import GpuUvmSimulator, build_workload, obs, systems
 from repro.errors import SimulationError
-from repro.sim.engine import Engine
+from repro.sim.engine import HeapEngine
 
 #: Upper bound on `is not None` guard evaluations per engine event across
 #: all instrumented components (engine step, fault path, buffer, DMA, SM).
@@ -34,12 +38,13 @@ GUARD_SITES_PER_EVENT = 8
 STORM_EVENTS = 200_000
 
 
-class BareEngine(Engine):
+class BareEngine(HeapEngine):
     """The seed's event loop, verbatim minus the obs hooks.
 
     ``step``/``run`` below are byte-for-byte the pre-instrumentation
-    bodies (commit c1363d8), so the timing delta against :class:`Engine`
-    isolates exactly what the observability change added to the hot loop.
+    bodies (commit c1363d8), so the timing delta against
+    :class:`HeapEngine` — the reference loop those hooks were added to —
+    isolates exactly what the observability change added per event.
     """
 
     def step(self) -> bool:
@@ -111,7 +116,7 @@ def test_obs_off_overhead_below_two_percent():
     assert obs.current() is None, "a leaked obs session would skew timing"
 
     bare, guarded = interleaved_mins(
-        lambda: drain_storm(BareEngine()), lambda: drain_storm(Engine())
+        lambda: drain_storm(BareEngine()), lambda: drain_storm(HeapEngine())
     )
     guard_cost_per_event = max(0.0, guarded - bare) / STORM_EVENTS
 

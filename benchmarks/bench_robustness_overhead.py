@@ -7,9 +7,12 @@ the disabled path adds only guard evaluations.  One guard is too small to
 resolve inside a real run (noise swamps it), so we measure it directly:
 
 1. A **pre-watchdog engine replica** (the ``run`` body as of the obs PR,
-   inlined below) races the real :class:`repro.sim.Engine` with
-   ``watchdog=None`` over the same synthetic event storm; the delta is
-   the per-event guard cost.
+   inlined below) races the reference :class:`repro.sim.HeapEngine` over
+   the same synthetic event storm; the delta is the per-event guard cost
+   on the loop architecture that carries per-event guards.  (The
+   production :class:`~repro.sim.Engine` hoists the watchdog test out of
+   its fast loop entirely when none is attached, so the estimate is an
+   upper bound for it.)
 2. A real tiny run with robustness off gives events and wall-clock.
    Estimated overhead = guard cost x guard sites x events / runtime.
 
@@ -25,7 +28,7 @@ import time
 
 from repro import GpuUvmSimulator, build_workload, obs, systems
 from repro.chaos.config import parse_chaos_spec
-from repro.sim.engine import Engine
+from repro.sim.engine import HeapEngine
 
 #: Upper bound on robustness ``is not None`` guards per engine event:
 #: the watchdog tick in the run loop, plus the runtime/fault-buffer/DMA
@@ -37,7 +40,7 @@ GUARD_SITES_PER_EVENT = 4
 STORM_EVENTS = 200_000
 
 
-class PreWatchdogEngine(Engine):
+class PreWatchdogEngine(HeapEngine):
     """The event loop exactly as it shipped before the watchdog hook."""
 
     def run(self, until=None, max_events=None) -> None:
@@ -105,7 +108,7 @@ def test_robustness_off_overhead_below_two_percent():
     assert obs.current() is None, "a leaked obs session would skew timing"
 
     bare, guarded = interleaved_mins(
-        lambda: drain_storm(PreWatchdogEngine()), lambda: drain_storm(Engine())
+        lambda: drain_storm(PreWatchdogEngine()), lambda: drain_storm(HeapEngine())
     )
     guard_cost_per_event = max(0.0, guarded - bare) / STORM_EVENTS
 

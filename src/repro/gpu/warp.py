@@ -142,6 +142,8 @@ class Warp:
         "stall_start",
         "stalled_cycles",
         "mem_wait",
+        "exec_event",
+        "complete_event",
     )
 
     def __init__(self, warp_id: int, ops: Sequence[WarpOp], block=None) -> None:
@@ -151,6 +153,11 @@ class Warp:
         self.pc = 0
         self.state = WarpState.READY
         self.waiting_pages: set[int] = set()
+        #: Interned engine events (set by the simulator): one reusable
+        #: bound-argument object per warp for the hot op-issue/completion
+        #: schedulings, instead of a fresh closure per event.
+        self.exec_event = None
+        self.complete_event = None
         #: Latency still owed to the in-flight op when the warp resumes
         #: after its faults are serviced (the memory access replays).
         self.resume_latency = 0

@@ -75,8 +75,18 @@ class Observability:
         self._kind_counters: dict[str, CounterMetric] = {}
 
     def count_event(self, callback: Callable) -> None:
-        """Attribute one engine dispatch to the callback's kind."""
-        qualname = getattr(callback, "__qualname__", "?")
+        """Attribute one engine dispatch to the callback's kind.
+
+        Interned event objects advertise a ``kind`` class attribute;
+        ``functools.partial`` wrappers are unwrapped to their target.
+        Plain closures fall back to ``__qualname__``.
+        """
+        qualname = getattr(callback, "kind", None)
+        if qualname is None:
+            inner = getattr(callback, "func", None)  # functools.partial
+            if inner is not None:
+                callback = inner
+            qualname = getattr(callback, "__qualname__", "?")
         counter = self._kind_counters.get(qualname)
         if counter is None:
             kind = qualname.replace(".<locals>.<lambda>", "") or "?"

@@ -12,6 +12,7 @@ lane per batch with the fault-handling window and the migration stream.
 
 from __future__ import annotations
 
+import bisect
 import warnings
 from dataclasses import dataclass
 from typing import Iterable
@@ -36,9 +37,20 @@ class Timeline:
         self.max_events = max_events
         self.events: list[TimelineEvent] = []
         self.dropped = 0
+        # Per-kind index maintained on record: ``of_kind`` answers in
+        # O(matches) instead of scanning every record, which made
+        # ``render_batches`` quadratic on large timelines.
+        self._by_kind: dict[str, list[TimelineEvent]] = {}
+        # True while recorded times are nondecreasing (the common case —
+        # most producers record at the engine clock); lets ``between``
+        # binary-search.  A single out-of-order record (e.g. a lane
+        # annotated at a future boundary time) flips it and ``between``
+        # falls back to the linear scan, still returning record order.
+        self._monotonic = True
 
     def record(self, time: int, kind: str, detail: str = "", value: int = 0) -> None:
-        if len(self.events) >= self.max_events:
+        events = self.events
+        if len(events) >= self.max_events:
             if not self.dropped:
                 warnings.warn(
                     f"Timeline reached max_events={self.max_events}; "
@@ -49,16 +61,29 @@ class Timeline:
                 )
             self.dropped += 1
             return
-        self.events.append(TimelineEvent(time, kind, detail, value))
+        if events and time < events[-1].time:
+            self._monotonic = False
+        event = TimelineEvent(time, kind, detail, value)
+        events.append(event)
+        index = self._by_kind.get(kind)
+        if index is None:
+            self._by_kind[kind] = [event]
+        else:
+            index.append(event)
 
     def of_kind(self, kind: str) -> list[TimelineEvent]:
-        return [e for e in self.events if e.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def kinds(self) -> set[str]:
-        return {e.kind for e in self.events}
+        return set(self._by_kind)
 
     def between(self, start: int, end: int) -> list[TimelineEvent]:
-        return [e for e in self.events if start <= e.time <= end]
+        events = self.events
+        if self._monotonic:
+            lo = bisect.bisect_left(events, start, key=lambda e: e.time)
+            hi = bisect.bisect_right(events, end, key=lambda e: e.time)
+            return events[lo:hi]
+        return [e for e in events if start <= e.time <= end]
 
     def __len__(self) -> int:
         return len(self.events)
@@ -94,6 +119,10 @@ def render_batches(
         f"batch timeline: {t0} .. {t1} cycles "
         f"(# fault handling, = migration, ! eviction, * arrival)"
     ]
+    # Hoisted out of the lane loop: one index lookup each, not one
+    # timeline scan per batch lane.
+    evict_events = timeline.of_kind("evict_start")
+    arrival_events = timeline.of_kind("page_arrival")
     for begin in begins:
         index = begin.value
         end_time = ends[index].time if index in ends else t1
@@ -108,10 +137,10 @@ def render_batches(
         for c in range(column(fht_end), column(end_time) + 1):
             if lane[c] == " ":
                 lane[c] = "="
-        for event in timeline.of_kind("evict_start"):
+        for event in evict_events:
             if begin.time <= event.time <= end_time:
                 lane[column(event.time)] = "!"
-        for event in timeline.of_kind("page_arrival"):
+        for event in arrival_events:
             if begin.time <= event.time <= end_time:
                 lane[column(event.time)] = "*"
         lines.append(f"B{index:<3d} |{''.join(lane)}|")
@@ -122,9 +151,9 @@ def render_batches(
 
 def summarize(timeline: Timeline) -> dict[str, int]:
     """Event counts per kind, plus ``"dropped"`` when the cap was hit."""
-    counts: dict[str, int] = {}
-    for event in timeline.events:
-        counts[event.kind] = counts.get(event.kind, 0) + 1
+    counts: dict[str, int] = {
+        kind: len(events) for kind, events in timeline._by_kind.items()
+    }
     if timeline.dropped:
         counts["dropped"] = timeline.dropped
     return counts

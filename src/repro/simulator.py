@@ -49,6 +49,40 @@ from repro.vm.page_table import PageTable
 from repro.workloads.trace import Workload
 
 
+class _ExecuteOpEvent:
+    """Interned warp-step event: one reusable object per warp.
+
+    The engine fires millions of these; binding the warp once avoids a
+    fresh closure (cell object + lambda frame) per scheduling.  ``kind``
+    feeds the obs layer's per-event-kind dispatch counters under the same
+    label the old lambda produced.
+    """
+
+    __slots__ = ("_sim", "_warp")
+    kind = "GpuUvmSimulator._execute_op"
+
+    def __init__(self, sim: "GpuUvmSimulator", warp: Warp) -> None:
+        self._sim = sim
+        self._warp = warp
+
+    def __call__(self) -> None:
+        self._sim._execute_op(self._warp)
+
+
+class _WarpCompletedEvent:
+    """Interned warp-completion event (see :class:`_ExecuteOpEvent`)."""
+
+    __slots__ = ("_sim", "_warp")
+    kind = "GpuUvmSimulator._warp_completed"
+
+    def __init__(self, sim: "GpuUvmSimulator", warp: Warp) -> None:
+        self._sim = sim
+        self._warp = warp
+
+    def __call__(self) -> None:
+        self._sim._warp_completed(self._warp)
+
+
 @dataclass
 class SimulationResult:
     """Everything the experiments need from one run."""
@@ -167,6 +201,7 @@ class GpuUvmSimulator:
             valid_pages.__contains__,
         )
         self.runtime.wake_warp = self._wake_warp
+        self.runtime.wake_warps = self._wake_warps
         self.runtime.on_evict = self._on_evict
         self.runtime.timeline = timeline
         self.runtime.obs = self.obs
@@ -298,6 +333,8 @@ class GpuUvmSimulator:
             warps = []
             for warp_id, ops in enumerate(block_trace.warp_ops):
                 warp = Warp(warp_id, ops)
+                warp.exec_event = _ExecuteOpEvent(self, warp)
+                warp.complete_event = _WarpCompletedEvent(self, warp)
                 if not ops:
                     warp.state = WarpState.FINISHED
                 warps.append(warp)
@@ -383,7 +420,7 @@ class GpuUvmSimulator:
             return
         warp.state = WarpState.RUNNING
         delay = extra_delay + self._compute_cycles(warp.current_op())
-        self.engine.schedule(delay, lambda: self._execute_op(warp))
+        self.engine.schedule(delay, warp.exec_event)
 
     def _compute_cycles(self, op) -> int:
         scale = self.config.time_scale
@@ -407,9 +444,7 @@ class GpuUvmSimulator:
         if sm.switch_busy_until > self.engine.now:
             # The register file is busy with a context save/restore; the
             # SM cannot issue until it completes.
-            self.engine.schedule_at(
-                sm.switch_busy_until, lambda: self._execute_op(warp)
-            )
+            self.engine.schedule_at(sm.switch_busy_until, warp.exec_event)
             return
 
         warp.mem_wait = False
@@ -453,11 +488,11 @@ class GpuUvmSimulator:
 
         warp.advance()
         if warp.finished:
-            self.engine.schedule(total, lambda: self._warp_completed(warp))
+            self.engine.schedule(total, warp.complete_event)
         else:
             warp.state = WarpState.RUNNING
             next_delay = total + self._compute_cycles(warp.current_op())
-            self.engine.schedule(next_delay, lambda: self._execute_op(warp))
+            self.engine.schedule(next_delay, warp.exec_event)
 
     def _runahead_probe(self, warp: Warp) -> None:
         """Speculatively translate the stalled warp's next ops (§4.1 alt).
@@ -521,6 +556,48 @@ class GpuUvmSimulator:
         warp.state = WarpState.SUSPENDED
         if block.state is BlockState.INACTIVE and block.sm is not None:
             block.sm.on_block_ready(block)
+
+    def _wake_warps(self, page: int, now: int, waiters) -> None:
+        """Batched page-arrival fan-out: one call wakes every waiter.
+
+        Same per-warp logic as :meth:`_wake_warp`, with the obs guard,
+        clock read, and method lookups hoisted out of the loop.  Per-warp
+        *order* is load-bearing and must match the unbatched path: a
+        wake's side effects (block activation, context-switch decisions
+        reading co-waiters' states) are observable to later waiters, so
+        each waiter is notified and woken before the next is notified.
+        """
+        obs = self.obs
+        schedule_warp = self._schedule_warp
+        for warp in waiters:
+            if not warp.page_arrived(page, now):
+                continue
+            block = warp.block
+            if block.state is BlockState.ACTIVE:
+                sm: StreamingMultiprocessor = block.sm
+                if sm.throttled:
+                    sm.park(warp)
+                    continue
+                if obs is not None:
+                    stalled = now - warp.stall_start
+                    obs.tracer.complete(
+                        f"sm{sm.sm_id}",
+                        "warp stall",
+                        warp.stall_start,
+                        now,
+                        warp=warp.warp_id,
+                    )
+                    obs.metrics.counter("sm.stall_cycles", sm=sm.sm_id).inc(
+                        stalled
+                    )
+                    obs.metrics.histogram("sm.warp_stall_cycles", 1000).record(
+                        stalled
+                    )
+                schedule_warp(warp, 0)
+                continue
+            warp.state = WarpState.SUSPENDED
+            if block.state is BlockState.INACTIVE and block.sm is not None:
+                block.sm.on_block_ready(block)
 
     def _on_evict(self, page: int) -> None:
         self.caches.invalidate_page(page, self.page_shift)

@@ -13,15 +13,20 @@ the runtime deduplicates pages when it preprocesses the batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from typing import Any, NamedTuple
 
 from repro.errors import ConfigError
 
 
-@dataclass(frozen=True)
-class FaultEntry:
-    """One replayable fault: which page, who faulted, and when."""
+class FaultEntry(NamedTuple):
+    """One replayable fault: which page, who faulted, and when.
+
+    A NamedTuple rather than a dataclass: one entry is constructed per
+    raised fault (the hottest allocation on the fault path), and tuple
+    construction is several times cheaper than a frozen dataclass's
+    ``__init__`` + ``__setattr__`` round trip.  Field order is part of
+    the interface.
+    """
 
     page: int
     warp: Any

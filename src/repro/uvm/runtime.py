@@ -19,6 +19,7 @@ Implements the control flow of Section 2.2 / Figure 2:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Iterable
 
 from repro.core.batching import BatchRecord, BatchStats
@@ -69,6 +70,14 @@ class UvmRuntime:
 
         #: Called with a warp whose last awaited page arrived.
         self.wake_warp: Callable[..., None] = lambda warp: None
+        #: Batched variant: called once per page arrival with ``(page,
+        #: now, waiters)`` and fans out to every same-cycle waiter in a
+        #: single call.  The implementation must preserve per-warp order —
+        #: notify each waiter, then wake it before notifying the next —
+        #: because a wake's side effects (block activation, context-switch
+        #: decisions) are observable to later waiters.  ``None`` falls
+        #: back to per-warp :attr:`wake_warp` calls.
+        self.wake_warps: Callable[..., None] | None = None
         #: Called with each evicted page (cache/TLB invalidation hook).
         self.on_evict: Callable[[int], None] = lambda page: None
         #: Called when a batch completes (TO controller, ETC epochs).
@@ -219,16 +228,18 @@ class UvmRuntime:
             if plan.first_migration_start is not None
             else migration_start
         )
+        # Bound-argument partials instead of per-page lambdas: cheaper to
+        # build, and they expose ``.func`` so obs event accounting groups
+        # every arrival/eviction under one kind.
+        page_arrived = self._page_arrived
+        schedule_at = self.engine.schedule_at
         for page, arrival in zip(all_pages, plan.arrivals):
-            self.engine.schedule_at(
-                arrival, lambda p=page: self._page_arrived(p)
-            )
+            schedule_at(arrival, partial(page_arrived, page))
+        evict_one = self._evict_one
         for i, (start, finish) in enumerate(plan.evictions):
             victim = victims[i] if i < len(victims) else None
-            self.engine.schedule_at(
-                start, lambda v=victim: self._evict_one(v)
-            )
-            self.engine.schedule_at(finish, self._release_frame)
+            schedule_at(start, partial(evict_one, victim))
+            schedule_at(finish, self._release_frame)
 
         if self.timeline is not None:
             self.timeline.record(now, "batch_begin", value=record.index)
@@ -381,7 +392,7 @@ class UvmRuntime:
                 )
             self.engine.schedule(
                 max(1, self.pcie.d2h_cycles_per_page // 4),
-                lambda: self._page_arrived(page, attempt + 1),
+                partial(self._page_arrived, page, attempt + 1),
             )
             return
         frame = self.memory.allocate(page, now)
@@ -397,9 +408,16 @@ class UvmRuntime:
                 )
             if obs.full:
                 obs.tracer.instant("uvm", "page arrival", now, page=f"{page:#x}")
-        for warp in self._waiters.pop(page, ()):  # prefetched pages: no waiters
-            if warp.page_arrived(page, now):
-                self.wake_warp(warp)
+        waiters = self._waiters.pop(page, None)
+        if waiters:  # prefetched pages: no waiters
+            wake_warps = self.wake_warps
+            if wake_warps is not None:
+                wake_warps(page, now, waiters)
+            else:
+                wake_warp = self.wake_warp
+                for warp in waiters:
+                    if warp.page_arrived(page, now):
+                        wake_warp(warp)
         self._remaining_arrivals -= 1
         if self._remaining_arrivals == 0:
             self._end_batch()

@@ -54,22 +54,23 @@ class DmaChannel:
         behind it — exactly the head-of-line blocking a real replayed
         descriptor causes.
         """
-        duration = self.cycles_per_page if duration is None else duration
-        total = duration
+        total = self.cycles_per_page if duration is None else duration
         chaos = self.chaos
         if chaos is not None:
-            extra = chaos.dma_attempts(self.name, duration, now)
+            extra = chaos.dma_attempts(self.name, total, now)
             if extra:
                 self.stall_retries += 1
                 self.stall_cycles += extra
                 total += extra
-        start = max(now, self.busy_until)
+        busy = self.busy_until
+        start = now if now >= busy else busy
         finish = start + total
         self.busy_until = finish
         self.pages_transferred += 1
         self.busy_cycles += total
-        if self.obs is not None:
-            self.obs.tracer.complete(self._track, "page transfer", start, finish)
+        obs = self.obs
+        if obs is not None:
+            obs.tracer.complete(self._track, "page transfer", start, finish)
         return start, finish
 
     def reset_clock(self) -> None:
@@ -140,10 +141,14 @@ class PcieModel:
 
     def migrate_page(self, now: int, page: int | None = None) -> tuple[int, int]:
         """Schedule one CPU->GPU page migration."""
-        duration = None if page is None else self.h2d_duration(page)
-        return self.h2d.enqueue(now, duration)
+        # Per-page durations only differ under compression; skip the
+        # duration lookup entirely on the common uncompressed path.
+        if page is None or self.compression is None:
+            return self.h2d.enqueue(now)
+        return self.h2d.enqueue(now, self.h2d_duration(page))
 
     def evict_page(self, now: int, page: int | None = None) -> tuple[int, int]:
         """Schedule one GPU->CPU page eviction transfer."""
-        duration = None if page is None else self.d2h_duration(page)
-        return self.d2h.enqueue(now, duration)
+        if page is None or self.compression is None:
+            return self.d2h.enqueue(now)
+        return self.d2h.enqueue(now, self.d2h_duration(page))

@@ -1,17 +1,30 @@
-"""Unit tests for the discrete-event engine."""
+"""Unit tests for the discrete-event engine.
+
+Every contract test runs against both implementations — the production
+two-level :class:`Engine` and the reference :class:`HeapEngine` — via the
+``make_engine`` fixture; randomized cross-implementation equivalence
+lives in ``tests/test_properties_core.py``.  Engine-only tests below
+exercise the two-level scheduler's seams: the near/far horizon, far→
+bucket migration, the head slot, and draining-bucket appends.
+"""
 
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, HeapEngine
 
 
-def test_starts_at_time_zero():
-    assert Engine().now == 0
+@pytest.fixture(params=[Engine, HeapEngine], ids=["two-level", "heap"])
+def make_engine(request):
+    return request.param
 
 
-def test_schedule_and_run_single_event():
-    engine = Engine()
+def test_starts_at_time_zero(make_engine):
+    assert make_engine().now == 0
+
+
+def test_schedule_and_run_single_event(make_engine):
+    engine = make_engine()
     fired = []
     engine.schedule(10, lambda: fired.append(engine.now))
     engine.run()
@@ -19,8 +32,8 @@ def test_schedule_and_run_single_event():
     assert engine.now == 10
 
 
-def test_events_fire_in_time_order():
-    engine = Engine()
+def test_events_fire_in_time_order(make_engine):
+    engine = make_engine()
     order = []
     engine.schedule(30, lambda: order.append("c"))
     engine.schedule(10, lambda: order.append("a"))
@@ -29,8 +42,8 @@ def test_events_fire_in_time_order():
     assert order == ["a", "b", "c"]
 
 
-def test_same_time_events_fire_in_schedule_order():
-    engine = Engine()
+def test_same_time_events_fire_in_schedule_order(make_engine):
+    engine = make_engine()
     order = []
     for tag in ("first", "second", "third"):
         engine.schedule(5, lambda t=tag: order.append(t))
@@ -38,29 +51,29 @@ def test_same_time_events_fire_in_schedule_order():
     assert order == ["first", "second", "third"]
 
 
-def test_schedule_at_absolute_time():
-    engine = Engine()
+def test_schedule_at_absolute_time(make_engine):
+    engine = make_engine()
     fired = []
     engine.schedule_at(42, lambda: fired.append(engine.now))
     engine.run()
     assert fired == [42]
 
 
-def test_negative_delay_rejected():
-    engine = Engine()
+def test_negative_delay_rejected(make_engine):
+    engine = make_engine()
     with pytest.raises(SimulationError):
         engine.schedule(-1, lambda: None)
 
 
-def test_schedule_at_past_rejected():
-    engine = Engine()
+def test_schedule_at_past_rejected(make_engine):
+    engine = make_engine()
     engine.schedule(10, lambda: engine.schedule_at(5, lambda: None))
     with pytest.raises(SimulationError):
         engine.run()
 
 
-def test_events_can_schedule_more_events():
-    engine = Engine()
+def test_events_can_schedule_more_events(make_engine):
+    engine = make_engine()
     fired = []
 
     def chain(n):
@@ -73,8 +86,8 @@ def test_events_can_schedule_more_events():
     assert fired == [0, 7, 14, 21]
 
 
-def test_run_until_stops_clock_at_bound():
-    engine = Engine()
+def test_run_until_stops_clock_at_bound(make_engine):
+    engine = make_engine()
     fired = []
     engine.schedule(10, lambda: fired.append("early"))
     engine.schedule(100, lambda: fired.append("late"))
@@ -84,16 +97,16 @@ def test_run_until_stops_clock_at_bound():
     assert engine.pending_events == 1
 
 
-def test_run_until_includes_boundary_event():
-    engine = Engine()
+def test_run_until_includes_boundary_event(make_engine):
+    engine = make_engine()
     fired = []
     engine.schedule(50, lambda: fired.append("edge"))
     engine.run(until=50)
     assert fired == ["edge"]
 
 
-def test_max_events_limits_processing():
-    engine = Engine()
+def test_max_events_limits_processing(make_engine):
+    engine = make_engine()
     for i in range(10):
         engine.schedule(i, lambda: None)
     engine.run(max_events=4)
@@ -101,19 +114,19 @@ def test_max_events_limits_processing():
     assert engine.pending_events == 6
 
 
-def test_step_returns_false_when_empty():
-    assert Engine().step() is False
+def test_step_returns_false_when_empty(make_engine):
+    assert make_engine().step() is False
 
 
-def test_peek_time():
-    engine = Engine()
+def test_peek_time(make_engine):
+    engine = make_engine()
     assert engine.peek_time() is None
     engine.schedule(13, lambda: None)
     assert engine.peek_time() == 13
 
 
-def test_run_not_reentrant():
-    engine = Engine()
+def test_run_not_reentrant(make_engine):
+    engine = make_engine()
     errors = []
 
     def nested():
@@ -127,14 +140,14 @@ def test_run_not_reentrant():
     assert len(errors) == 1
 
 
-def test_run_until_advances_clock_on_empty_queue():
-    engine = Engine()
+def test_run_until_advances_clock_on_empty_queue(make_engine):
+    engine = make_engine()
     engine.run(until=40)
     assert engine.now == 40
 
 
-def test_run_until_advances_clock_when_queue_drains_early():
-    engine = Engine()
+def test_run_until_advances_clock_when_queue_drains_early(make_engine):
+    engine = make_engine()
     fired = []
     engine.schedule(10, lambda: fired.append(engine.now))
     engine.run(until=50)
@@ -142,15 +155,15 @@ def test_run_until_advances_clock_when_queue_drains_early():
     assert engine.now == 50
 
 
-def test_run_until_is_monotonic_across_calls():
-    engine = Engine()
+def test_run_until_is_monotonic_across_calls(make_engine):
+    engine = make_engine()
     engine.run(until=30)
     engine.run(until=20)  # an earlier bound never rewinds the clock
     assert engine.now == 30
 
 
-def test_max_events_stop_does_not_jump_to_until():
-    engine = Engine()
+def test_max_events_stop_does_not_jump_to_until(make_engine):
+    engine = make_engine()
     for i in range(4):
         engine.schedule(i, lambda: None)
     engine.run(until=100, max_events=2)
@@ -158,16 +171,16 @@ def test_max_events_stop_does_not_jump_to_until():
     assert engine.pending_events == 2
 
 
-def test_fractional_time_rejected():
-    engine = Engine()
+def test_fractional_time_rejected(make_engine):
+    engine = make_engine()
     with pytest.raises(SimulationError):
         engine.schedule_at(1.5, lambda: None)
     with pytest.raises(SimulationError):
         engine.schedule(0.25, lambda: None)
 
 
-def test_integral_float_time_normalised():
-    engine = Engine()
+def test_integral_float_time_normalised(make_engine):
+    engine = make_engine()
     fired = []
     engine.schedule_at(3.0, lambda: fired.append(engine.now))
     engine.run()
@@ -175,9 +188,202 @@ def test_integral_float_time_normalised():
     assert isinstance(engine.now, int)
 
 
-def test_zero_delay_event_fires_at_current_time():
-    engine = Engine()
+def test_zero_delay_event_fires_at_current_time(make_engine):
+    engine = make_engine()
     times = []
     engine.schedule(5, lambda: engine.schedule(0, lambda: times.append(engine.now)))
     engine.run()
     assert times == [5]
+
+
+def test_exception_in_callback_keeps_counters_exact(make_engine):
+    engine = make_engine()
+    engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    engine.schedule(3, lambda: None)
+    with pytest.raises(RuntimeError):
+        engine.run()
+    # The failing event counts as fired (counted-then-fired order) and
+    # the engine stays usable for the harness's retry path.
+    assert engine.events_processed == 2
+    assert engine.pending_events == 1
+    engine.run()
+    assert engine.pending_events == 0
+
+
+# ----------------------------------------------------------------------
+# Two-level scheduler seams (Engine-specific)
+# ----------------------------------------------------------------------
+def test_near_window_must_be_positive():
+    with pytest.raises(SimulationError):
+        Engine(near_window=0)
+    with pytest.raises(SimulationError):
+        Engine(near_window=-5)
+
+
+def test_far_events_fire_after_near_events():
+    engine = Engine(near_window=10)
+    order = []
+    engine.schedule(5000, lambda: order.append("far"))  # beyond horizon
+    engine.schedule(3, lambda: order.append("near"))
+    engine.run()
+    assert order == ["near", "far"]
+    assert engine.now == 5000
+
+
+def test_migrated_far_events_precede_later_same_cycle_appends():
+    """Far events land in their bucket in schedule order, ahead of near
+    events appended to the same cycle after the migration."""
+    engine = Engine(near_window=10)
+    order = []
+    engine.schedule_at(15, lambda: order.append("far-a"))  # far at t=0
+    engine.schedule_at(15, lambda: order.append("far-b"))
+    # Fires at t=6 (horizon then 16): by now 15 is near, so this lands
+    # *behind* the migrated far events in bucket 15.
+    engine.schedule_at(
+        6, lambda: engine.schedule_at(15, lambda: order.append("near-c"))
+    )
+    engine.run()
+    assert order == ["far-a", "far-b", "near-c"]
+
+
+def test_schedule_into_draining_bucket_preserves_fifo():
+    engine = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule(0, lambda: order.append("appended"))
+
+    engine.schedule(5, first)
+    engine.schedule(5, lambda: order.append("second"))
+    engine.run()
+    assert order == ["first", "second", "appended"]
+
+
+def test_run_until_then_resume_across_migration():
+    engine = Engine(near_window=4)
+    fired = []
+    for t in (2, 6, 20, 100):
+        engine.schedule_at(t, lambda t=t: fired.append(t))
+    engine.run(until=10)
+    assert fired == [2, 6]
+    assert engine.now == 10
+    engine.run()
+    assert fired == [2, 6, 20, 100]
+
+
+def test_pathological_near_window_one():
+    """Every event is 'far' with a one-cycle horizon; order still holds."""
+    engine = Engine(near_window=1)
+    order = []
+    for tag in ("a", "b", "c"):
+        engine.schedule(9, lambda t=tag: order.append(t))
+    engine.schedule(2, lambda: order.append("early"))
+    engine.run()
+    assert order == ["early", "a", "b", "c"]
+
+
+@pytest.mark.parametrize("stop", ["until", "max_events"])
+def test_schedule_after_bounded_stop_keeps_time_order(make_engine, stop):
+    """Regression (found by hypothesis): a bounded run can stop having
+    just activated a future bucket; an event scheduled afterwards at an
+    earlier time must still fire first, not behind the leftover bucket."""
+    engine = make_engine()
+    order = []
+    engine.schedule_at(5, lambda: order.append("early"))
+    engine.schedule_at(300, lambda: order.append("late"))
+    if stop == "until":
+        engine.run(until=100)
+    else:
+        engine.run(max_events=1)
+    assert order == ["early"]
+    engine.schedule_at(150, lambda: order.append("mid"))
+    engine.run()
+    assert order == ["early", "mid", "late"]
+
+
+def test_head_slot_demotion_keeps_order():
+    """Scheduling an earlier time after a later one (head demotion)."""
+    engine = Engine()
+    order = []
+    engine.schedule(50, lambda: order.append("later"))   # takes the head slot
+    engine.schedule(10, lambda: order.append("earlier"))  # demotes it
+    engine.schedule(50, lambda: order.append("later-2"))
+    engine.schedule(10, lambda: order.append("earlier-2"))
+    engine.run()
+    assert order == ["earlier", "earlier-2", "later", "later-2"]
+
+
+# ----------------------------------------------------------------------
+# state_snapshot
+# ----------------------------------------------------------------------
+class _KindTagged:
+    kind = "tagged.event"
+
+    def __call__(self):
+        pass
+
+
+def test_state_snapshot_previews_next_events_in_order(make_engine):
+    engine = make_engine()
+    for t in (40, 10, 30, 20, 99, 77):
+        engine.schedule(t, _KindTagged())
+    snapshot = engine.state_snapshot()
+    assert snapshot["engine_now"] == 0
+    assert snapshot["pending_events"] == 6
+    assert [time for time, _ in snapshot["next_events"]] == [10, 20, 30, 40]
+    assert all(label == "tagged.event" for _, label in snapshot["next_events"])
+    # The preview must not disturb the queue.
+    engine.run()
+    assert engine.events_processed == 6
+
+
+def test_state_snapshot_mixes_near_and_far(make_engine):
+    engine = make_engine()
+    engine.schedule(100_000, _KindTagged())  # far (beyond any near window)
+    engine.schedule(3, _KindTagged())
+    snapshot = engine.state_snapshot()
+    assert [time for time, _ in snapshot["next_events"]] == [3, 100_000]
+
+
+def test_state_snapshot_labels_plain_functions(make_engine):
+    engine = make_engine()
+
+    def named_callback():
+        pass
+
+    engine.schedule(1, named_callback)
+    ((_, label),) = engine.state_snapshot()["next_events"]
+    assert "named_callback" in label
+
+
+# ----------------------------------------------------------------------
+# Guarded loop selection (obs / watchdog hooks)
+# ----------------------------------------------------------------------
+class _TickCounter:
+    def __init__(self):
+        self.ticks = []
+
+    def tick(self, now):
+        self.ticks.append(now)
+
+
+def test_watchdog_ticks_once_per_event(make_engine):
+    engine = make_engine()
+    engine.watchdog = _TickCounter()
+    for t in (1, 1, 5):
+        engine.schedule(t, lambda: None)
+    engine.run()
+    assert engine.watchdog.ticks == [1, 1, 5]
+
+
+def test_obs_full_counts_event_kinds(make_engine):
+    obs_mod = pytest.importorskip("repro.obs")
+    engine = make_engine()
+    engine.obs = obs_mod.Observability("full")
+    engine.schedule(1, _KindTagged())
+    engine.schedule(2, _KindTagged())
+    engine.run()
+    series = engine.obs.metrics.series("engine.events", "counter")
+    assert sum(counter.value for counter in series) == 2

@@ -1,0 +1,125 @@
+"""Golden-equivalence lock for the discrete-event core.
+
+The fast-path engine rework (two-level calendar/heap scheduler, interned
+event objects, specialized run loops) is only shippable because this suite
+proves it changes *nothing observable*: every golden file under
+``tests/golden/equivalence/`` was recorded with the pre-optimization
+``(time, seq, callback)`` heap engine, and every system preset x workload
+cell must keep reproducing it field-for-field — same batches, same
+per-batch page counts and boundary times, same final cycle counts, same
+hit rates, same obs metric snapshot.
+
+Regenerating the corpus (only when a PR *deliberately* changes simulated
+behaviour — never to paper over an equivalence break)::
+
+    PYTHONPATH=src python tests/test_equivalence_golden.py --regenerate
+
+The workflow for future core changes is documented in
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro import GpuUvmSimulator, build_workload, obs, systems
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "equivalence"
+
+#: Every system preset in the evaluation...
+SYSTEMS = tuple(preset.name for preset in systems.ALL_SYSTEMS)
+
+#: ... crossed with two fast, structurally different traversals (BFS-TTC
+#: exercises batching + eviction churn, KCORE the degenerate small-batch
+#: path), plus two heavier SSSP-TWC cells covering the baseline and the
+#: paper's full proposal at ~3x the event volume.  Workloads whose tiny
+#: preset runs for minutes (PR, GC-*) are left to the experiment sweeps.
+WORKLOADS = ("BFS-TTC", "KCORE")
+
+CELLS = [
+    (system, workload) for system in SYSTEMS for workload in WORKLOADS
+] + [
+    ("BASELINE", "SSSP-TWC"),
+    ("UE", "SSSP-TWC"),
+    ("TO+UE", "BFS-TWC"),
+]
+
+def _slug(name: str) -> str:
+    return name.lower().replace("+", "_").replace("-", "_")
+
+
+def cell_path(system: str, workload: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{_slug(system)}__{_slug(workload)}.json"
+
+
+def run_cell(system: str, workload: str) -> dict:
+    """One deterministic tiny-scale run, encoded for golden comparison."""
+    wl = build_workload(workload, scale="tiny", seed=0)
+    config = systems.by_name(system).configure(wl, ratio=0.5)
+    session = obs.Observability("light")
+    sim = GpuUvmSimulator(wl, config, obs=session)
+    result = sim.run()
+
+    encoded = dataclasses.asdict(result)
+    batch_stats = encoded.pop("batch_stats")
+    return {
+        "system": system,
+        "workload": workload,
+        "result": encoded,
+        "batches": batch_stats["records"],
+        "metrics": session.metrics.snapshot(),
+    }
+
+
+@pytest.mark.parametrize(("system", "workload"), CELLS)
+def test_optimized_core_matches_golden(system: str, workload: str) -> None:
+    path = cell_path(system, workload)
+    assert path.exists(), (
+        f"missing golden file {path.name}; regenerate with "
+        "`PYTHONPATH=src python tests/test_equivalence_golden.py --regenerate`"
+    )
+    golden = json.loads(path.read_text())
+    current = run_cell(system, workload)
+
+    # Field-for-field scalar comparison first, so a mismatch names the
+    # exact diverging field instead of dumping two full documents.
+    for field, expected in golden["result"].items():
+        assert current["result"][field] == expected, (
+            f"{system}/{workload}: SimulationResult.{field} diverged: "
+            f"golden {expected!r} vs optimized {current['result'][field]!r}"
+        )
+    assert len(current["batches"]) == len(golden["batches"]), (
+        f"{system}/{workload}: batch count diverged"
+    )
+    for i, (got, expected) in enumerate(
+        zip(current["batches"], golden["batches"])
+    ):
+        assert got == expected, (
+            f"{system}/{workload}: batch {i} diverged: "
+            f"golden {expected!r} vs optimized {got!r}"
+        )
+    assert current["metrics"] == golden["metrics"], (
+        f"{system}/{workload}: obs metric snapshot diverged"
+    )
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for system, workload in CELLS:
+        path = cell_path(system, workload)
+        path.write_text(
+            json.dumps(run_cell(system, workload), indent=1, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" not in sys.argv:
+        sys.exit("usage: python tests/test_equivalence_golden.py --regenerate")
+    regenerate()

@@ -1,11 +1,24 @@
-"""Property-based tests for the core data structures."""
+"""Property-based tests for the core data structures.
 
+The engine section replays randomized event scripts — interleaved
+``schedule`` / ``schedule_at`` / ``run(until=)`` / ``run(max_events=)`` /
+``step()`` calls with callbacks spawning children — through the two-level
+:class:`~repro.sim.Engine` and the reference
+:class:`~repro.sim.HeapEngine`, asserting identical traces across
+near-window widths down to the pathological ``1``.  This is the proof
+obligation behind the fast-path rework (with
+``tests/test_equivalence_golden.py`` locking full-simulation output).
+"""
+
+import itertools
+import random
 from collections import OrderedDict
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, HeapEngine
 from repro.sim.stats import Histogram
 from repro.uvm.fault_buffer import FaultBuffer, FaultEntry
 from repro.uvm.replacement import AccessLru, AgedLru
@@ -14,15 +27,145 @@ from repro.vm.page_table import PageTable
 from repro.vm.tlb import Tlb
 
 
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
 @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1))
-def test_engine_fires_in_nondecreasing_time_order(delays):
-    engine = Engine()
+def test_engine_fires_in_nondecreasing_time_order(engine_cls, delays):
+    engine = engine_cls()
     fired = []
     for delay in delays:
         engine.schedule(delay, lambda d=delay: fired.append(engine.now))
     engine.run()
     assert fired == sorted(fired)
     assert len(fired) == len(delays)
+
+
+#: Delay palette: heavy same/near-cycle traffic plus a far-future tail
+#: beyond the default 4096-cycle near window, so scripts exercise the
+#: calendar buckets, the head slot, the far heap, and migration.
+DELAY_CHOICES = [0, 0, 1, 1, 2, 3, 7, 17, 64, 300, 1200, 5000, 20000]
+
+#: A script is a sequence of top-level driver operations.
+SCRIPT_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("batch"),
+            st.lists(st.sampled_from(DELAY_CHOICES), min_size=1, max_size=10),
+        ),
+        st.tuples(st.just("until"), st.integers(min_value=0, max_value=6000)),
+        st.tuples(st.just("max"), st.integers(min_value=1, max_value=40)),
+        st.tuples(st.just("step"), st.integers(min_value=1, max_value=5)),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+#: Hard cap on events spawned per script replay.  Each fired event
+#: spawns ``randint(0, 2)`` children — mean exactly 1, a *critical*
+#: branching process whose total progeny is heavy-tailed — so without a
+#: cap an unlucky example runs for minutes.  The cap is keyed off the
+#: deterministic id counter, so both engine replays truncate the same
+#: spawn tree at the same node and traces stay comparable.
+_SPAWN_CAP = 2000
+
+
+def _apply_script(engine, ops, spawn_seed: int) -> list:
+    """Apply a script to ``engine``; return the full observable trace.
+
+    All randomness derives from ``spawn_seed`` plus the firing event's
+    id — never from state shared between two engine replays — so two
+    equivalent engines see byte-identical decision streams and any
+    divergence surfaces as a trace mismatch.
+    """
+    ids = itertools.count()
+    trace: list = []
+
+    def spawn(eid: int):
+        def fire():
+            trace.append((eid, engine.now))
+            rng = random.Random((spawn_seed << 20) ^ eid)
+            for _ in range(rng.randint(0, 2)):
+                delay = rng.choice(DELAY_CHOICES)
+                child = next(ids)
+                if child >= _SPAWN_CAP:
+                    continue
+                if rng.random() < 0.8:
+                    engine.schedule(delay, spawn(child))
+                else:
+                    engine.schedule_at(engine.now + delay, spawn(child))
+
+        return fire
+
+    for op, arg in ops:
+        if op == "batch":
+            for delay in arg:
+                engine.schedule(delay, spawn(next(ids)))
+        elif op == "until":
+            engine.run(until=engine.now + arg)
+        elif op == "max":
+            engine.run(max_events=arg)
+        else:
+            for _ in range(arg):
+                engine.step()
+        trace.append(("checkpoint", engine.now, engine.pending_events))
+    engine.run()
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=SCRIPT_OPS,
+    spawn_seed=st.integers(min_value=0, max_value=2**20),
+    near_window=st.sampled_from([1, 3, 64, 4096, 100_000]),
+)
+def test_two_level_engine_replays_heap_trace(ops, spawn_seed, near_window):
+    reference = HeapEngine()
+    expected = _apply_script(reference, ops, spawn_seed)
+    optimized = Engine(near_window=near_window)
+    assert _apply_script(optimized, ops, spawn_seed) == expected
+    assert optimized.now == reference.now
+    assert optimized.events_processed == reference.events_processed
+    assert optimized.pending_events == reference.pending_events == 0
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+@given(st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=150))
+def test_fifo_within_cycle_matches_schedule_order(engine_cls, times):
+    engine = engine_cls()
+    order = []
+    for i, t in enumerate(times):
+        engine.schedule_at(t, lambda t=t, i=i: order.append((t, i)))
+    engine.run()
+    # sorted() is stable: equal times keep schedule order.
+    expected = [(t, i) for i, t in sorted(enumerate(times), key=lambda e: e[1])]
+    assert order == expected
+
+
+class _TaggedEvent:
+    __slots__ = ("kind",)
+
+    def __init__(self, tag: int):
+        self.kind = f"tagged.{tag}"
+
+    def __call__(self):
+        pass
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    delays=st.lists(st.sampled_from(DELAY_CHOICES), min_size=2, max_size=40),
+    cut=st.integers(min_value=1, max_value=39),
+)
+def test_state_snapshots_agree_after_bounded_run(delays, cut):
+    """Both engines preview the same next events mid-run."""
+    snapshots = []
+    for engine_cls in (Engine, HeapEngine):
+        engine = engine_cls()
+        for i, delay in enumerate(delays):
+            engine.schedule(delay, _TaggedEvent(i))
+        engine.run(max_events=min(cut, len(delays) - 1))
+        snapshots.append(engine.state_snapshot())
+    assert snapshots[0] == snapshots[1]
 
 
 @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1))

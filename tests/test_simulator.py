@@ -77,6 +77,49 @@ class TestDeterminism:
         assert a.evicted_pages == b.evicted_pages
 
 
+class TestFastPathWiring:
+    """The hot-path rework's simulator-side pieces: interned per-warp
+    event objects instead of per-schedule closures, and the batched
+    page-arrival wake fan-out."""
+
+    def test_warp_scheduling_uses_interned_events(self):
+        workload = tiny_workload()
+        config = systems.UNLIMITED.configure(workload, ratio=1.0)
+        sim = GpuUvmSimulator(workload, config)
+        kinds = []
+        original = sim.engine.schedule
+
+        def spy(delay, callback):
+            kind = getattr(callback, "kind", None)
+            if kind is not None:
+                kinds.append(kind)
+            original(delay, callback)
+
+        sim.engine.schedule = spy
+        sim.run()
+        assert "GpuUvmSimulator._execute_op" in kinds
+        assert "GpuUvmSimulator._warp_completed" in kinds
+
+    def test_batched_wake_hook_is_installed(self):
+        workload = tiny_workload()
+        config = systems.UNLIMITED.configure(workload, ratio=1.0)
+        sim = GpuUvmSimulator(workload, config)
+        assert sim.runtime.wake_warps == sim._wake_warps
+        assert sim.runtime.wake_warp == sim._wake_warp
+
+    def test_batched_wake_matches_per_warp_fallback(self):
+        """Disabling the batched hook (runtime falls back to per-warp
+        wake_warp calls) must not change simulated behaviour."""
+        workload = build_workload("KCORE", scale="tiny")
+        config = systems.TO_UE.configure(workload)
+        batched = GpuUvmSimulator(workload, config)
+        result_batched = batched.run()
+        unbatched = GpuUvmSimulator(workload, config)
+        unbatched.runtime.wake_warps = None
+        result_unbatched = unbatched.run()
+        assert result_batched == result_unbatched
+
+
 class TestOversubscribedExecution:
     def test_eviction_happens_under_pressure(self):
         workload = build_workload("KCORE", scale="tiny")

@@ -45,6 +45,63 @@ class TestTimeline:
         tl.record(3, "b")
         assert summarize(tl) == {"a": 2, "b": 1}
 
+    def test_of_kind_returns_independent_copy(self):
+        tl = Timeline()
+        tl.record(1, "a")
+        first = tl.of_kind("a")
+        first.append("junk")
+        assert len(tl.of_kind("a")) == 1
+        assert tl.of_kind("missing") == []
+
+    def test_between_with_out_of_order_records(self):
+        """A future-dated record (e.g. first_migration) must not lose
+        events for the bisect fast path."""
+        tl = Timeline()
+        tl.record(10, "batch_begin", value=0)
+        tl.record(500, "first_migration", value=0)  # ahead of the clock
+        tl.record(20, "page_arrival")
+        tl.record(30, "page_arrival")
+        got = tl.between(15, 40)
+        assert [e.time for e in got] == [20, 30]
+        assert [e.time for e in tl.between(0, 1000)] == [10, 500, 20, 30]
+
+    def test_large_timeline_queries_stay_fast(self):
+        """Regression for the O(n)-scan ``of_kind``/``between``: on a
+        100k-event timeline, per-kind queries and windowed lookups must
+        answer from the index, i.e. orders of magnitude under a full
+        scan per call.  Budget: 2000 queries well under a second."""
+        import time as _time
+
+        tl = Timeline(max_events=100_000)
+        for t in range(100_000):
+            tl.record(t, f"kind{t % 50}")
+        start = _time.perf_counter()
+        for _ in range(1000):
+            assert len(tl.of_kind("kind7")) == 2000
+        for lo in range(0, 100_000, 100):
+            tl.between(lo, lo + 10)
+        elapsed = _time.perf_counter() - start
+        assert elapsed < 1.0, f"indexed queries took {elapsed:.2f}s"
+
+    def test_render_batches_on_large_timeline(self):
+        """render_batches used to re-scan the whole timeline per lane."""
+        import time as _time
+
+        tl = Timeline(max_events=200_000)
+        for i in range(1000):
+            t = i * 100
+            tl.record(t, "batch_begin", value=i)
+            tl.record(t + 20, "first_migration", value=i)
+            for k in range(40):
+                tl.record(t + 30 + k, "page_arrival")
+            tl.record(t + 80, "evict_start")
+            tl.record(t + 90, "batch_end", value=i)
+        start = _time.perf_counter()
+        text = render_batches(tl, max_batches=50)
+        elapsed = _time.perf_counter() - start
+        assert "B49" in text
+        assert elapsed < 1.0, f"render took {elapsed:.2f}s"
+
 
 class TestRendering:
     def test_empty_timeline(self):
