@@ -1,17 +1,29 @@
-"""Event-core hot-path benchmark: two-level Engine vs HeapEngine.
+"""Core hot-path benchmark: fast engine + SoA warp model vs references.
 
-Measures the fast-path rework's speedup as a *ratio* against the in-tree
-reference implementation (:class:`repro.sim.HeapEngine`, the seed's
-single-heap loop kept verbatim), so the number is comparable across
-machines — absolute events/sec are recorded informationally.
+Measures the production fast paths as *ratios* against the in-tree
+reference implementations, so the numbers are comparable across
+machines — absolute events/sec are recorded informationally:
 
-Three synthetic storms bracket the traffic shapes the simulator
-generates, plus end-to-end tiny-scale simulation cells run twice — once
-with the production engine, once with ``repro.simulator.Engine``
-re-pointed at :class:`HeapEngine` — to show the whole-simulation effect.
-The e2e pass doubles as an equivalence smoke test: both engines must
-produce identical :class:`~repro.simulator.SimulationResult` fields (the
-full lock is ``tests/test_equivalence_golden.py``).
+* micro storms: the two-level calendar :class:`repro.sim.Engine` vs the
+  seed's single-heap :class:`repro.sim.HeapEngine`, on synthetic event
+  traffic;
+* end-to-end cells: the production stack (``Engine`` + the struct-of-
+  arrays warp backend, ``backend="soa"``) vs the full reference stack
+  (``HeapEngine`` + the per-warp-object model, ``backend="object"``),
+  on deterministic simulations, in two groups:
+
+  - ``e2e`` — memory-adequate cells whose runtime is dominated by the
+    vectorized warp/fault model (warp issue, TLB/cache probes, fault
+    raising and arrival handling): the subsystem speedup, end to end;
+  - ``fullstack`` — the paper's 50 % oversubscription operating point,
+    where shared driver-side batch machinery (eviction planning,
+    prefetch arithmetic, PCIe scheduling — identical code in both
+    stacks) dominates and structurally dilutes the backend difference.
+
+Every e2e/fullstack pass doubles as an equivalence smoke test: both
+stacks must produce identical :class:`~repro.simulator.SimulationResult`
+fields and event counts (the full lock is
+``tests/test_equivalence_golden.py`` and ``tests/test_soa_equivalence.py``).
 
 Usage::
 
@@ -19,9 +31,9 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_core_hotpath.py --quick     # CI-sized run, no file written
     PYTHONPATH=src python benchmarks/bench_core_hotpath.py --quick --check BENCH_core.json
 
-``--check`` compares the measured micro speedup ratio against the
-committed baseline and exits non-zero when it regressed by more than
-``--tolerance`` (default 25%) — the CI perf gate (see
+``--check`` compares the measured micro *and* e2e speedup geomeans
+against the committed baseline and exits non-zero when either regressed
+by more than ``--tolerance`` (default 25%) — the CI perf gate (see
 ``.github/workflows/ci.yml`` and ``docs/performance.md``).
 """
 
@@ -32,6 +44,8 @@ import dataclasses
 import json
 import math
 import pathlib
+import platform
+import subprocess
 import sys
 import time
 
@@ -42,9 +56,29 @@ from repro.sim.engine import Engine, HeapEngine
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_core.json"
 
-#: End-to-end cells: one batching-heavy traversal and one small-batch
-#: degenerate case, both tiny-scale and deterministic.
-E2E_CELLS = [("TO+UE", "BFS-TTC"), ("BASELINE", "KCORE")]
+#: End-to-end cells measuring the vectorized warp/fault model: memory-
+#: adequate configurations (ratio >= 1: no evictions, and for the
+#: NO-PREFETCH cells no prefetch arithmetic either), so wall time is
+#: dominated by the subsystem this backend rewrote — warp issue, TLB and
+#: cache probes, fault raising and batch arrival handling.  Each cell is
+#: (system, workload, oversubscription ratio, scale).
+E2E_CELLS = [
+    ("NO-PREFETCH", "BFS-TTC", 1.5, "small"),
+    ("NO-PREFETCH", "BFS-TWC", 1.5, "small"),
+    ("UNLIMITED", "BFS-TTC", 1.5, "small"),
+]
+
+#: Full-stack context cells: the paper's operating point (50 % memory
+#: oversubscription).  There the driver-side batch machinery — eviction
+#: planning, prefetch tree arithmetic, PCIe scheduling — dominates, and
+#: that code is *shared* between the two stacks, so the backend
+#: difference is structurally diluted.  Reported (and gated) separately
+#: so the subsystem geomean above is not averaged against a denominator
+#: the backend cannot touch.
+FULLSTACK_CELLS = [
+    ("TO+UE", "BFS-TTC", 0.5, "tiny"),
+    ("BASELINE", "KCORE", 0.5, "tiny"),
+]
 
 
 # ----------------------------------------------------------------------
@@ -140,15 +174,22 @@ def run_micro(storm, n_events: int, repeats: int) -> tuple[float, float]:
 
 
 # ----------------------------------------------------------------------
-# End-to-end: full tiny-scale simulations under each engine.
+# End-to-end: full tiny-scale simulations, production vs reference stack.
 # ----------------------------------------------------------------------
-def timed_e2e(engine_cls, system: str, workload: str) -> tuple[float, int, dict]:
-    wl = build_workload(workload, scale="tiny", seed=0)
-    config = systems.by_name(system).configure(wl, ratio=0.5)
+def timed_e2e(
+    engine_cls,
+    backend: str,
+    system: str,
+    workload: str,
+    ratio: float = 0.5,
+    scale: str = "tiny",
+) -> tuple[float, int, dict]:
+    wl = build_workload(workload, scale=scale, seed=0)
+    config = systems.by_name(system).configure(wl, ratio=ratio)
     original = simulator_mod.Engine
     simulator_mod.Engine = engine_cls
     try:
-        sim = simulator_mod.GpuUvmSimulator(wl, config)
+        sim = simulator_mod.GpuUvmSimulator(wl, config, backend=backend)
         start = time.perf_counter()
         result = sim.run()
         elapsed = time.perf_counter() - start
@@ -163,10 +204,77 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def provenance() -> dict:
+    """Environment stamp: ties a committed baseline to its origin."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+    except OSError:
+        commit = "unknown"
+    import numpy
+
+    return {
+        "commit": commit,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }
+
+
+def run_cells(cells, repeats: int, label: str) -> dict:
+    """Best-of-``repeats`` fast vs reference timing for each cell.
+
+    Fast and reference runs interleave within each repeat so CPU
+    frequency drift hits both stacks alike; every pair is also checked
+    for result/event-count equality (the bench doubles as an
+    equivalence smoke test).
+    """
+    out = {}
+    for system, workload, ratio, scale in cells:
+        ref_s = fast_s = math.inf
+        for _ in range(repeats):
+            r_s, ref_events, ref_result = timed_e2e(
+                HeapEngine, "object", system, workload, ratio, scale
+            )
+            f_s, fast_events, fast_result = timed_e2e(
+                Engine, "soa", system, workload, ratio, scale
+            )
+            if fast_result != ref_result or fast_events != ref_events:
+                raise SystemExit(
+                    f"BACKEND DIVERGENCE on {system}/{workload}: the "
+                    "production stack (Engine + SoA) and the reference "
+                    "stack (HeapEngine + object model) produced different "
+                    "results — run tests/test_equivalence_golden.py and "
+                    "tests/test_soa_equivalence.py"
+                )
+            ref_s = min(ref_s, r_s)
+            fast_s = min(fast_s, f_s)
+        key = f"{system}/{workload}"
+        out[key] = {
+            "fast_seconds": round(fast_s, 4),
+            "reference_seconds": round(ref_s, 4),
+            "ratio": ratio,
+            "scale": scale,
+            "events": fast_events,
+            "speedup": round(ref_s / fast_s, 3),
+        }
+        print(
+            f"{label} {key:>20}: {fast_s:6.2f}s vs reference {ref_s:6.2f}s "
+            f"({out[key]['speedup']:.2f}x, {fast_events:,} events)"
+        )
+    return out
+
+
 def collect(quick: bool) -> dict:
     n_events = 50_000 if quick else 300_000
     repeats = 3 if quick else 5
     cells = E2E_CELLS[:1] if quick else E2E_CELLS
+    fullstack_cells = FULLSTACK_CELLS[:1] if quick else FULLSTACK_CELLS
 
     micro = {}
     for name, storm in MICRO_STORMS:
@@ -182,38 +290,14 @@ def collect(quick: bool) -> dict:
             f"({micro[name]['speedup']:.2f}x)"
         )
 
-    e2e = {}
     e2e_repeats = 1 if quick else 3
-    for system, workload in cells:
-        heap_s = eng_s = math.inf
-        for _ in range(e2e_repeats):
-            h_s, heap_events, heap_result = timed_e2e(
-                HeapEngine, system, workload
-            )
-            e_s, eng_events, eng_result = timed_e2e(Engine, system, workload)
-            if eng_result != heap_result or eng_events != heap_events:
-                raise SystemExit(
-                    f"ENGINE DIVERGENCE on {system}/{workload}: the two "
-                    "engines produced different results — run "
-                    "tests/test_equivalence_golden.py"
-                )
-            heap_s = min(heap_s, h_s)
-            eng_s = min(eng_s, e_s)
-        key = f"{system}/{workload}"
-        e2e[key] = {
-            "engine_seconds": round(eng_s, 4),
-            "heap_seconds": round(heap_s, 4),
-            "events": eng_events,
-            "speedup": round(heap_s / eng_s, 3),
-        }
-        print(
-            f"e2e {key:>16}: {eng_s:6.2f}s vs heap {heap_s:6.2f}s "
-            f"({e2e[key]['speedup']:.2f}x, {eng_events:,} events)"
-        )
+    e2e = run_cells(cells, e2e_repeats, "e2e")
+    fullstack = run_cells(fullstack_cells, e2e_repeats, "fullstack")
 
     report = {
-        "schema": 1,
+        "schema": 3,
         "quick": quick,
+        "provenance": provenance(),
         "micro": micro,
         "micro_speedup_geomean": round(
             geomean([m["speedup"] for m in micro.values()]), 3
@@ -222,34 +306,54 @@ def collect(quick: bool) -> dict:
         "e2e_speedup_geomean": round(
             geomean([c["speedup"] for c in e2e.values()]), 3
         ),
+        "fullstack": fullstack,
+        "fullstack_speedup_geomean": round(
+            geomean([c["speedup"] for c in fullstack.values()]), 3
+        ),
     }
     print(
         f"geomean speedup: micro {report['micro_speedup_geomean']:.2f}x, "
-        f"e2e {report['e2e_speedup_geomean']:.2f}x"
+        f"e2e {report['e2e_speedup_geomean']:.2f}x, "
+        f"fullstack {report['fullstack_speedup_geomean']:.2f}x"
     )
     return report
 
 
 def check_against(report: dict, baseline_path: pathlib.Path, tolerance: float) -> int:
+    """Gate both geomeans against the committed baseline."""
     baseline = json.loads(baseline_path.read_text())
-    committed = baseline["micro_speedup_geomean"]
-    measured = report["micro_speedup_geomean"]
-    floor = committed * (1.0 - tolerance)
-    print(
-        f"perf gate: measured micro speedup {measured:.2f}x vs committed "
-        f"{committed:.2f}x (floor {floor:.2f}x at {tolerance:.0%} tolerance)"
-    )
-    if measured < floor:
+    status = 0
+    for metric, label, hint in (
+        ("micro_speedup_geomean", "micro", "two-level engine"),
+        ("e2e_speedup_geomean", "e2e", "engine + SoA warp backend"),
+        (
+            "fullstack_speedup_geomean",
+            "fullstack",
+            "oversubscribed full-stack",
+        ),
+    ):
+        committed = baseline.get(metric)
+        if committed is None:  # pre-schema-2 baseline: no e2e gate
+            continue
+        measured = report[metric]
+        floor = committed * (1.0 - tolerance)
         print(
-            "PERF REGRESSION: the fast-path engine's speedup over the "
-            "in-tree HeapEngine baseline dropped by more than "
-            f"{tolerance:.0%}. If the engine change is intentional, rerun "
-            "`PYTHONPATH=src python benchmarks/bench_core_hotpath.py` and "
-            "commit the refreshed BENCH_core.json (see docs/performance.md).",
-            file=sys.stderr,
+            f"perf gate [{label}]: measured {measured:.2f}x vs committed "
+            f"{committed:.2f}x (floor {floor:.2f}x at {tolerance:.0%} "
+            "tolerance)"
         )
-        return 1
-    return 0
+        if measured < floor:
+            print(
+                f"PERF REGRESSION [{label}]: the {hint} speedup over the "
+                "in-tree reference dropped by more than "
+                f"{tolerance:.0%}. If the change is intentional, rerun "
+                "`PYTHONPATH=src python benchmarks/bench_core_hotpath.py` "
+                "and commit the refreshed BENCH_core.json (see "
+                "docs/performance.md).",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -264,7 +368,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
-        help="allowed fractional drop in the micro speedup geomean (default 0.25)",
+        help="allowed fractional drop in each speedup geomean (default 0.25)",
     )
     parser.add_argument(
         "--out", type=pathlib.Path, default=DEFAULT_OUT,

@@ -181,8 +181,21 @@ class Warp:
 
     # ------------------------------------------------------------------
     def stall_on(self, pages: Iterable[int], now: int, replay_latency: int) -> None:
-        """Stall this warp until every page in ``pages`` becomes resident."""
+        """Stall this warp until every page in ``pages`` becomes resident.
+
+        A warp that is *already* stalled may accrue more waiting pages
+        (e.g. a replayed access faulting on a different page set while
+        earlier faults are still outstanding).  In that case the original
+        ``stall_start`` is preserved — the warp has been stalled since the
+        first fault, and overwriting it would silently drop the
+        already-accrued stall time from ``stalled_cycles``.  Replay
+        latencies merge by ``max``: the replays overlap, so the warp owes
+        the longest one, not their sum.
+        """
         self.waiting_pages.update(pages)
+        if self.state is WarpState.STALLED:
+            self.resume_latency = max(self.resume_latency, replay_latency)
+            return
         self.state = WarpState.STALLED
         self.resume_latency = replay_latency
         self.stall_start = now

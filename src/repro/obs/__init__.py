@@ -50,6 +50,7 @@ from repro.obs.metrics import (
     HistogramMetric,
     MetricRegistry,
 )
+from repro.obs.profile import ComponentProfiler, profile_simulation
 from repro.obs.report import render_report
 from repro.obs.tracer import TraceEvent, Tracer
 
@@ -150,6 +151,8 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "MetricRegistry",
+    "ComponentProfiler",
+    "profile_simulation",
     "CounterMetric",
     "GaugeMetric",
     "HistogramMetric",

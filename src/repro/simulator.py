@@ -25,7 +25,7 @@ from repro.chaos import ChaosSession
 from repro.core.batching import BatchStats
 from repro.core.lifetime import PageLifetimeMonitor
 from repro.core.oversubscription import ThreadOversubscriptionController
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.gpu.caches import CacheHierarchy
 from repro.gpu.config import SimConfig
 from repro.gpu.context import ContextCostModel
@@ -34,6 +34,17 @@ from repro.gpu.occupancy import OccupancyCalculator
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.gpu.thread_block import BlockState, ThreadBlock
 from repro.gpu.warp import Warp, WarpState
+from repro.gpu.warp_soa import (
+    FINISHED as SOA_FINISHED,
+    RUNNING as SOA_RUNNING,
+    STALLED as SOA_STALLED,
+    SUSPENDED as SOA_SUSPENDED,
+    READY as SOA_READY,
+    SoAThreadBlock,
+    SoAWarp,
+    WarpStore,
+    derive_ops,
+)
 from repro.invariants import InvariantChecker, Watchdog
 from repro.obs import current as _current_obs
 from repro.sim.engine import Engine
@@ -41,7 +52,7 @@ from repro.uvm.compression import CapacityCompression
 from repro.uvm.eviction import make_eviction_strategy
 from repro.uvm.memory_manager import GpuMemoryManager
 from repro.uvm.prefetcher import make_prefetcher
-from repro.uvm.replacement import make_replacement_policy
+from repro.uvm.replacement import ReplacementPolicy, make_replacement_policy
 from repro.uvm.runtime import UvmRuntime
 from repro.uvm.transfer import PcieModel
 from repro.vm.mmu import GpuMmu
@@ -81,6 +92,25 @@ class _WarpCompletedEvent:
 
     def __call__(self) -> None:
         self._sim._warp_completed(self._warp)
+
+
+class _SoAExecuteOpEvent:
+    """Interned warp-step event for the SoA backend.
+
+    Carries the *same* ``kind`` label as the object-model event: the obs
+    layer's per-event-kind dispatch counters must be backend-invariant
+    for the golden equivalence lock to hold in full-obs runs.
+    """
+
+    __slots__ = ("_sim", "_warp")
+    kind = "GpuUvmSimulator._execute_op"
+
+    def __init__(self, sim: "GpuUvmSimulator", warp: SoAWarp) -> None:
+        self._sim = sim
+        self._warp = warp
+
+    def __call__(self) -> None:
+        self._sim._execute_op_soa(self._warp)
 
 
 @dataclass
@@ -153,8 +183,24 @@ class GpuUvmSimulator:
     """One workload under one system configuration."""
 
     def __init__(
-        self, workload: Workload, config: SimConfig, timeline=None, obs=None
+        self,
+        workload: Workload,
+        config: SimConfig,
+        timeline=None,
+        obs=None,
+        backend: str = "soa",
     ) -> None:
+        if backend not in ("soa", "object"):
+            raise ConfigError(
+                f"unknown model backend {backend!r}; expected 'soa' or 'object'"
+            )
+        #: Warp-model backend: ``"soa"`` (default) keeps warp state in
+        #: struct-of-arrays form (:mod:`repro.gpu.warp_soa`) with the
+        #: vectorized issue path; ``"object"`` is the reference
+        #: per-warp-object model.  Both produce bit-identical results —
+        #: backend is a constructor argument rather than a SimConfig field
+        #: precisely because it must not perturb run-cache keys.
+        self.backend = backend
         self.workload = workload
         self.config = config
         self.timeline = timeline
@@ -174,6 +220,7 @@ class GpuUvmSimulator:
         self.page_table = PageTable()
         self.mmu = GpuMmu(gpu, self.page_table)
         self.caches = CacheHierarchy(gpu)
+        self._runahead_enabled = config.runahead.enabled
 
         frames = config.uvm.frames
         self._access_penalty = 0
@@ -188,8 +235,51 @@ class GpuUvmSimulator:
         self.memory = GpuMemoryManager(
             frames, make_replacement_policy(config.uvm.replacement_policy)
         )
+        # Access-promotion hook for the SoA issue loop: None when the
+        # configured policy inherits the base no-op ``touch`` (aged-lru),
+        # letting the hot loop skip the per-page call entirely; bound
+        # method otherwise (access-lru).  Behaviour-identical either way.
+        policy = self.memory.policy
+        self._policy_touch = (
+            None
+            if type(policy).touch is ReplacementPolicy.touch
+            else policy.touch
+        )
+        # Per-SM hot-path bindings for the SoA issue loop: one tuple
+        # unpack replaces ~20 attribute-chain loads per executed op.  All
+        # referenced containers (TLB/cache sets, version map, dirty set)
+        # are created once in their owners' __init__ and never reassigned,
+        # so the bound references stay valid for the simulator's lifetime.
+        versions = self.page_table._versions
+        l2d = self.caches.l2
+        self._soa_hot = [
+            (
+                l1,
+                l1._sets[0],
+                l1._sets[0].get,
+                versions,
+                versions.get,
+                self.mmu.translate_after_l1_miss,
+                gpu.l1_tlb_hit_cycles,
+                l1d,
+                l1d._sets,
+                l1d.num_sets,
+                l1d.assoc,
+                l2d,
+                l2d._sets,
+                l2d.num_sets,
+                l2d.assoc,
+                gpu.l1_hit_cycles,
+                gpu.l2_hit_cycles,
+                gpu.memory_latency_cycles,
+                self._access_penalty,
+                self.memory._alloc_time,
+                self.memory._dirty.add,
+                self._policy_touch,
+            )
+            for l1, l1d in zip(self.mmu.l1_tlbs, self.caches.l1)
+        ]
         self.pcie = PcieModel(config.uvm)
-        valid_pages = workload.address_space.all_pages()
         self.runtime = UvmRuntime(
             self.engine,
             config.uvm,
@@ -198,10 +288,15 @@ class GpuUvmSimulator:
             self.pcie,
             make_eviction_strategy(config.eviction),
             make_prefetcher(config.uvm),
-            valid_pages.__contains__,
+            workload.address_space.all_pages(),
+        )
+        self._schedule_warp_impl = (
+            self._schedule_warp_soa if backend == "soa" else self._schedule_warp
         )
         self.runtime.wake_warp = self._wake_warp
-        self.runtime.wake_warps = self._wake_warps
+        self.runtime.wake_warps = (
+            self._wake_warps_soa if backend == "soa" else self._wake_warps
+        )
         self.runtime.on_evict = self._on_evict
         self.runtime.timeline = timeline
         self.runtime.obs = self.obs
@@ -249,6 +344,7 @@ class GpuUvmSimulator:
         self.context_cost = ContextCostModel(gpu)
 
         self._kernel_index = 0
+        self._warp_store: WarpStore | None = None
         self._dispatcher: Dispatcher | None = None
         self._sms: list[StreamingMultiprocessor] = []
         self._done = False
@@ -328,19 +424,10 @@ class GpuUvmSimulator:
         kernel = self.workload.kernels[self._kernel_index]
         self._kernel_index += 1
 
-        blocks: list[ThreadBlock] = []
-        for block_trace in kernel.blocks:
-            warps = []
-            for warp_id, ops in enumerate(block_trace.warp_ops):
-                warp = Warp(warp_id, ops)
-                warp.exec_event = _ExecuteOpEvent(self, warp)
-                warp.complete_event = _WarpCompletedEvent(self, warp)
-                if not ops:
-                    warp.state = WarpState.FINISHED
-                warps.append(warp)
-            if not warps or all(w.finished for w in warps):
-                continue  # nothing to execute
-            blocks.append(ThreadBlock(len(blocks), warps))
+        if self.backend == "soa":
+            blocks = self._build_blocks_soa(kernel)
+        else:
+            blocks = self._build_blocks_object(kernel)
 
         if not blocks:
             self.engine.schedule(0, self._start_next_kernel)
@@ -358,7 +445,7 @@ class GpuUvmSimulator:
                 active_limit,
                 self.context_cost,
                 kernel.resources,
-                self._schedule_warp,
+                self._schedule_warp_impl,
                 switch_allowed,
                 forced,
             )
@@ -375,6 +462,80 @@ class GpuUvmSimulator:
             self._sms, blocks, extra, self._on_kernel_done
         )
         self._dispatcher.launch()
+
+    def _build_blocks_object(self, kernel) -> list[ThreadBlock]:
+        """Reference object-model kernel build: one Warp object per warp."""
+        blocks: list[ThreadBlock] = []
+        for block_trace in kernel.blocks:
+            warps = []
+            for warp_id, ops in enumerate(block_trace.warp_ops):
+                warp = Warp(warp_id, ops)
+                warp.exec_event = _ExecuteOpEvent(self, warp)
+                warp.complete_event = _WarpCompletedEvent(self, warp)
+                if not ops:
+                    warp.state = WarpState.FINISHED
+                warps.append(warp)
+            if not warps or all(w.finished for w in warps):
+                continue  # nothing to execute
+            blocks.append(ThreadBlock(len(blocks), warps))
+        return blocks
+
+    def _build_blocks_soa(self, kernel) -> list[ThreadBlock]:
+        """SoA kernel build: one WarpStore for the whole launch.
+
+        Warp indices are assigned in dispatch order, so each block's warps
+        occupy a contiguous index range (what the block predicates scan).
+        Per-op derived data (pages, lines, store pages, time-scaled
+        compute) is precomputed once *per kernel trace* and cached on the
+        trace object: traces are immutable, so repeated simulations of
+        the same workload (sweeps, benchmark repetitions) reuse the
+        tuples instead of re-deriving them every launch.
+        """
+        total = sum(len(bt.warp_ops) for bt in kernel.blocks)
+        store = WarpStore(total)
+        self._warp_store = store
+        blocks: list[ThreadBlock] = []
+        derived = self._kernel_derived_soa(kernel)
+        index = 0
+        for block_trace in kernel.blocks:
+            warps = []
+            for warp_id, ops in enumerate(block_trace.warp_ops):
+                warp = store.add_warp_derived(
+                    index, warp_id, ops, derived[index]
+                )
+                warp.exec_event = _SoAExecuteOpEvent(self, warp)
+                warp.complete_event = _WarpCompletedEvent(self, warp)
+                warps.append(warp)
+                index += 1
+            if not warps or all(w.finished for w in warps):
+                continue  # nothing to execute
+            blocks.append(SoAThreadBlock(len(blocks), warps))
+        return blocks
+
+    def _kernel_derived_soa(self, kernel) -> list[tuple]:
+        """Per-warp derived tuples for ``kernel``, cached on the trace.
+
+        The cache key covers everything the derivation reads: the page
+        shift and the time scale.  Entries are immutable tuples shared
+        across simulator instances; the cache lives on the kernel object
+        itself, so it dies with the trace.
+        """
+        key = (self.page_shift, self.config.time_scale)
+        cache = getattr(kernel, "_soa_derived_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(kernel, "_soa_derived_cache", cache)
+        derived = cache.get(key)
+        if derived is None:
+            page_shift = self.page_shift
+            scale = self._scale_compute
+            derived = [
+                derive_ops(ops, page_shift, scale)
+                for block_trace in kernel.blocks
+                for ops in block_trace.warp_ops
+            ]
+            cache[key] = derived
+        return derived
 
     def _extra_blocks_allowed(self) -> int:
         if self.config.forced_oversubscription:
@@ -427,6 +588,13 @@ class GpuUvmSimulator:
         if scale == 1.0:
             return op.compute_cycles
         return max(1, round(op.compute_cycles * scale))
+
+    def _scale_compute(self, cycles: int) -> int:
+        """Scalar twin of :meth:`_compute_cycles` for SoA precomputation."""
+        scale = self.config.time_scale
+        if scale == 1.0:
+            return cycles
+        return max(1, round(cycles * scale))
 
     def _execute_op(self, warp: Warp) -> None:
         if warp.finished:
@@ -494,6 +662,205 @@ class GpuUvmSimulator:
             next_delay = total + self._compute_cycles(warp.current_op())
             self.engine.schedule(next_delay, warp.exec_event)
 
+    # ------------------------------------------------------------------
+    # Warp execution: SoA backend
+    # ------------------------------------------------------------------
+    def _schedule_warp_soa(self, warp: SoAWarp, extra_delay: int) -> None:
+        """SoA twin of :meth:`_schedule_warp` (compute pre-scaled)."""
+        store = warp.store
+        i = warp.index
+        if store.state[i] == SOA_FINISHED:
+            return
+        store.state[i] = SOA_RUNNING
+        delay = extra_delay + store.op_compute[i][store.pc[i]]
+        self.engine.schedule(delay, warp.exec_event)
+
+    def _execute_op_soa(self, warp: SoAWarp) -> None:
+        """Vectorized-backend twin of :meth:`_execute_op`.
+
+        Behaviourally bit-identical to the object path (the golden
+        equivalence suite runs both), but with the per-event work
+        restructured for speed:
+
+        * op-derived data (pages, lines, store pages, scaled compute)
+          comes from the WarpStore's precomputed tuples;
+        * the L1 TLB probe is inlined (fully associative by construction,
+          so ``_sets[0]`` is the whole TLB), replicating
+          :meth:`~repro.vm.tlb.Tlb.lookup` counter-for-counter; misses
+          fall back to :meth:`~repro.vm.mmu.GpuMmu.translate_after_l1_miss`
+          so the cold path stays shared with the object model;
+        * the data-cache probe-and-fill is inlined from
+          :meth:`~repro.gpu.caches.CacheHierarchy.access_lines`;
+        * the replacement-policy ``touch`` is skipped outright when the
+          policy inherits the base no-op (aged-lru).
+        """
+        store = warp.store
+        i = warp.index
+        state = store.state
+        if state[i] == SOA_FINISHED:
+            return
+        block = warp.block
+        if block.state is not BlockState.ACTIVE:
+            # The block was context-switched out while this event was in
+            # flight; the warp resumes when the block is reactivated.
+            state[i] = SOA_SUSPENDED
+            return
+        sm: StreamingMultiprocessor = block.sm
+        if sm.throttled:
+            sm.park(warp)
+            return
+        engine = self.engine
+        now = engine.now
+        if sm.switch_busy_until > now:
+            # The register file is busy with a context save/restore; the
+            # SM cannot issue until it completes.
+            engine.schedule_at(sm.switch_busy_until, warp.exec_event)
+            return
+
+        store.mem_wait[i] = False
+        pc = store.pc[i]
+        pages = store.op_pages[i][pc]
+        (
+            l1,
+            l1_entries,
+            l1_get,
+            versions,
+            versions_get,
+            translate_after_l1_miss,
+            l1_tlb_hit_cycles,
+            l1d,
+            l1d_sets,
+            l1d_nsets,
+            l1d_assoc,
+            l2d,
+            l2d_sets,
+            l2d_nsets,
+            l2d_assoc,
+            l1_hit_cycles,
+            l2_hit_cycles,
+            memory_latency,
+            access_penalty,
+            alloc_time,
+            dirty_add,
+            touch,
+        ) = self._soa_hot[sm.sm_id]
+        latency = 0
+        missing = None
+        for page in pages:
+            # Empty version map (no shootdown has ever happened — e.g.
+            # memory-adequate runs) skips the per-page lookup entirely.
+            version = versions_get(page, 0) if versions else 0
+            fill_version = l1_get(page)
+            if fill_version is not None and fill_version >= version:
+                l1_entries.move_to_end(page)
+                l1.hits += 1
+                lat = l1_tlb_hit_cycles
+            else:
+                if fill_version is not None:
+                    # Shootdown happened after this entry was filled.
+                    del l1_entries[page]
+                    l1.stale_hits += 1
+                l1.misses += 1
+                resident, lat, _level = translate_after_l1_miss(
+                    page, l1, version, now
+                )
+                if not resident:
+                    if missing is None:
+                        missing = [page]
+                    else:
+                        missing.append(page)
+            if lat > latency:
+                latency = lat
+
+        if missing is not None:
+            warp.stall_on(missing, now, 0)
+            unique_fault_pages = self._unique_fault_pages
+            raise_fault = self.runtime.raise_fault
+            for page in missing:
+                unique_fault_pages.add(page)
+                raise_fault(page, warp)
+            if self._runahead_enabled:
+                self._runahead_probe(warp)
+            sm.on_warp_stalled(warp)
+            return
+
+        if touch is not None:
+            for page in pages:
+                touch(page)
+        store_pages = store.op_store_pages[i][pc]
+        if store_pages:
+            # Inlined GpuMemoryManager.mark_dirty (resident check + set
+            # add) — two container ops instead of a method call per page.
+            for page in store_pages:
+                if page in alloc_time:
+                    dirty_add(page)
+
+        data_latency = 0
+        lines = store.op_lines[i][pc]
+        if lines:
+            # Per-level miss counts instead of a per-line latency max: the
+            # latencies are monotone in depth (their base constants are,
+            # and the scale rounding preserves order), so the op's data
+            # latency is just the deepest level any line touched.  Cache
+            # counters flush once per op — same totals, no per-line
+            # attribute read-modify-writes.
+            l1_misses = 0
+            l2_misses = 0
+            for line in lines:
+                entries = l1d_sets[line % l1d_nsets]
+                if line in entries:
+                    entries.move_to_end(line)
+                else:
+                    l1_misses += 1
+                    if len(entries) >= l1d_assoc:
+                        entries.popitem(last=False)
+                    entries[line] = None
+                    entries = l2d_sets[line % l2d_nsets]
+                    if line in entries:
+                        entries.move_to_end(line)
+                    else:
+                        l2_misses += 1
+                        if len(entries) >= l2d_assoc:
+                            entries.popitem(last=False)
+                        entries[line] = None
+            if l1_misses:
+                l1d.misses += l1_misses
+                l1_hits = len(lines) - l1_misses
+                if l1_hits:
+                    l1d.hits += l1_hits
+                if l2_misses:
+                    l2d.misses += l2_misses
+                    data_latency = memory_latency
+                else:
+                    data_latency = l2_hit_cycles
+                l2_hits = l1_misses - l2_misses
+                if l2_hits:
+                    l2d.hits += l2_hits
+            else:
+                l1d.hits += len(lines)
+                data_latency = l1_hit_cycles
+            data_latency += access_penalty
+        total = latency + data_latency
+
+        # Virtual Thread descheduling trigger: any access that leaves the
+        # core (L2 or DRAM) counts as a long-latency operation.  The
+        # forced-oversubscription check is the first branch of
+        # sm.on_warp_mem_wait, hoisted here.
+        if total >= l2_hit_cycles:
+            store.mem_wait[i] = True
+            if sm.forced_oversubscription:
+                sm.on_warp_mem_wait(warp)
+
+        pc += 1
+        store.pc[i] = pc
+        compute = store.op_compute[i]
+        if pc >= len(compute):
+            state[i] = SOA_FINISHED
+            engine.schedule(total, warp.complete_event)
+        else:
+            state[i] = SOA_RUNNING
+            engine.schedule(total + compute[pc], warp.exec_event)
+
     def _runahead_probe(self, warp: Warp) -> None:
         """Speculatively translate the stalled warp's next ops (§4.1 alt).
 
@@ -551,7 +918,7 @@ class GpuUvmSimulator:
             # Replay the faulted access: re-issue the current op.  The
             # compute charged by _schedule_warp stands in for the fault
             # replay overhead.
-            self._schedule_warp(warp, 0)
+            self._schedule_warp_impl(warp, 0)
             return
         warp.state = WarpState.SUSPENDED
         if block.state is BlockState.INACTIVE and block.sm is not None:
@@ -596,6 +963,56 @@ class GpuUvmSimulator:
                 schedule_warp(warp, 0)
                 continue
             warp.state = WarpState.SUSPENDED
+            if block.state is BlockState.INACTIVE and block.sm is not None:
+                block.sm.on_block_ready(block)
+
+    def _wake_warps_soa(self, page: int, now: int, waiters) -> None:
+        """SoA twin of :meth:`_wake_warps` with ``page_arrived`` inlined.
+
+        Preserves the same load-bearing per-warp order: each waiter is
+        notified and fully woken before the next is notified.
+        """
+        obs = self.obs
+        schedule_warp = self._schedule_warp_soa
+        for warp in waiters:
+            store = warp.store
+            i = warp.index
+            waiting = store.waiting_pages[i]
+            waiting.discard(page)
+            remaining = len(waiting)
+            store.waiting_count[i] = remaining
+            if remaining:
+                continue
+            state = store.state
+            if state[i] != SOA_STALLED:
+                continue
+            stall_start = store.stall_start[i]
+            store.stalled_cycles[i] += now - stall_start
+            state[i] = SOA_READY
+            block = warp.block
+            if block.state is BlockState.ACTIVE:
+                sm: StreamingMultiprocessor = block.sm
+                if sm.throttled:
+                    sm.park(warp)
+                    continue
+                if obs is not None:
+                    stalled = now - stall_start
+                    obs.tracer.complete(
+                        f"sm{sm.sm_id}",
+                        "warp stall",
+                        stall_start,
+                        now,
+                        warp=warp.warp_id,
+                    )
+                    obs.metrics.counter("sm.stall_cycles", sm=sm.sm_id).inc(
+                        stalled
+                    )
+                    obs.metrics.histogram("sm.warp_stall_cycles", 1000).record(
+                        stalled
+                    )
+                schedule_warp(warp, 0)
+                continue
+            state[i] = SOA_SUSPENDED
             if block.state is BlockState.INACTIVE and block.sm is not None:
                 block.sm.on_block_ready(block)
 

@@ -82,6 +82,17 @@ class FaultBuffer:
                 self.chaos_duplicated += 1
                 self._entries.append(entry)
                 self._pages.add(entry.page)
+                # The duplicate occupies real capacity, so it counts
+                # toward peak occupancy and the live gauge exactly like
+                # the normal append below — in particular when the
+                # duplicate is what fills the buffer and the original
+                # entry overflows.
+                if len(self._entries) > self.peak_occupancy:
+                    self.peak_occupancy = len(self._entries)
+                if obs is not None and obs.full:
+                    obs.metrics.gauge("fault_buffer.occupancy").set(
+                        len(self._entries)
+                    )
         if len(self._entries) >= self.capacity:
             self.overflow_faults += 1
             if obs is not None:

@@ -48,7 +48,8 @@ class ReplacementPolicy:
         Mirrors ``pick_and_evict_root_chunk()``: examine the head of the
         LRU list and walk toward the tail until an evictable page is found.
         """
-        pinned_set = set(pinned)
+        # Callers on the hot eviction path pass a set; don't copy it.
+        pinned_set = pinned if isinstance(pinned, (set, frozenset)) else set(pinned)
         for page in self._order:
             if page not in pinned_set:
                 return page

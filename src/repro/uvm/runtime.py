@@ -20,7 +20,7 @@ Implements the control flow of Section 2.2 / Figure 2:
 from __future__ import annotations
 
 from functools import partial
-from typing import Callable, Iterable
+from typing import AbstractSet, Callable, Iterable
 
 from repro.core.batching import BatchRecord, BatchStats
 from repro.errors import SimulationError
@@ -46,7 +46,7 @@ class UvmRuntime:
         pcie: PcieModel,
         eviction: EvictionStrategy,
         prefetcher=None,
-        valid_page: Callable[[int], bool] = lambda page: True,
+        valid_pages: "AbstractSet[int] | None" = None,
     ) -> None:
         self.engine = engine
         self.uvm = uvm
@@ -55,7 +55,9 @@ class UvmRuntime:
         self.pcie = pcie
         self.eviction = eviction
         self.prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
-        self.valid_page = valid_page
+        #: Allocation-backed pages the prefetcher may pull in (a set-like
+        #: container; ``None`` means unrestricted).
+        self.valid_pages = valid_pages
 
         self.fault_buffer = FaultBuffer(uvm.fault_buffer_entries)
         self.batch_stats = BatchStats()
@@ -185,7 +187,7 @@ class UvmRuntime:
         self._current = record
 
         prefetched = self.prefetcher.expand(
-            pages, self.page_table.is_resident, self.valid_page
+            pages, self.page_table.resident_view(), self.valid_pages
         )
         # Prefetching is opportunistic: it must never *force* evictions
         # (the driver only expands within free space).  Demand pages keep

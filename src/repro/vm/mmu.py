@@ -15,7 +15,7 @@ entries (shootdown model).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.gpu.config import GpuConfig
 from repro.vm.page_table import PageTable
@@ -23,9 +23,14 @@ from repro.vm.tlb import Tlb
 from repro.vm.walker import PageTableWalker
 
 
-@dataclass(frozen=True)
-class TranslationResult:
-    """Outcome of translating one page access."""
+class TranslationResult(NamedTuple):
+    """Outcome of translating one page access.
+
+    A NamedTuple rather than a frozen dataclass: one result is built per
+    translated page on the warp-issue hot path, and tuple construction
+    skips the ``__init__`` + ``object.__setattr__`` round trip (same
+    precedent as :class:`repro.uvm.fault_buffer.FaultEntry`).
+    """
 
     resident: bool
     latency: int
@@ -60,23 +65,38 @@ class GpuMmu:
 
         if l1.lookup(page, version):
             return TranslationResult(True, self._gpu.l1_tlb_hit_cycles, "l1")
+        resident, latency, level = self.translate_after_l1_miss(
+            page, l1, version, now
+        )
+        return TranslationResult(resident, latency, level)
 
+    def translate_after_l1_miss(
+        self, page: int, l1: Tlb, version: int, now: int
+    ) -> tuple[bool, int, str]:
+        """Continue a translation whose L1 probe already missed.
+
+        The SoA warp backend inlines the (overwhelmingly common) L1-hit
+        probe into its issue loop and falls back here for misses, so the
+        cold path stays in one place and every counter/LRU update is
+        shared with :meth:`translate`.  Returns a plain tuple — the hot
+        caller unpacks it without building a :class:`TranslationResult`.
+        """
         latency = self._gpu.l1_tlb_hit_cycles  # L1 probe cost paid either way
         if self.l2_tlb.lookup(page, version):
             latency += self._gpu.l2_tlb_hit_cycles
             l1.fill(page, version)
-            return TranslationResult(True, latency, "l2")
+            return True, latency, "l2"
 
         latency += self._gpu.l2_tlb_hit_cycles
         latency += self.walker.walk(page, now)
         if self.page_table.is_resident(page):
             l1.fill(page, version)
             self.l2_tlb.fill(page, version)
-            return TranslationResult(True, latency, "walk")
+            return True, latency, "walk"
 
         # Walk failed: the page is not resident in GPU memory -> page fault.
         self.faults_detected += 1
-        return TranslationResult(False, latency, "walk")
+        return False, latency, "walk"
 
     def invalidate(self, page: int) -> None:
         """Targeted invalidation on top of the version-based shootdown."""

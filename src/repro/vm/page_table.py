@@ -77,6 +77,14 @@ class PageTable:
     def resident_set(self) -> frozenset[int]:
         return frozenset(self._frames)
 
+    def resident_view(self):
+        """Live set-like view of the resident pages (no copy).
+
+        Supports membership and C-level set algebra; tracks subsequent
+        maps/unmaps.  The prefetcher intersects it per faulted region.
+        """
+        return self._frames.keys()
+
     def frame_map(self) -> dict[int, int]:
         """Snapshot of the page -> frame mapping (invariant checking)."""
         return dict(self._frames)

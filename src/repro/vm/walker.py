@@ -14,6 +14,7 @@ per-slot busy-until times.
 from __future__ import annotations
 
 from collections import OrderedDict
+from heapq import heapreplace
 
 from repro.errors import ConfigError
 
@@ -71,7 +72,10 @@ class PageTableWalker:
         self.levels = levels
         self.memory_latency = memory_latency
         self.walk_cache = PageWalkCache(walk_cache_entries)
-        # Busy-until time per walk slot.
+        # Busy-until time per walk slot, kept as a min-heap: the root is
+        # always the earliest-available slot, so slot pick is O(log n)
+        # instead of a 64-wide linear scan per walk.  Only the multiset
+        # of busy-until times matters, never slot identity.
         self._slots = [0] * max_concurrent_walks
         # In-flight walks by page (the MSHR view): concurrent misses to the
         # same page coalesce onto one walk instead of burning more slots.
@@ -97,10 +101,10 @@ class PageTableWalker:
             service = self.memory_latency  # leaf access only
         else:
             service = self.levels * self.memory_latency
-        # Earliest-available slot.
-        slot = min(range(len(self._slots)), key=self._slots.__getitem__)
-        start = max(now, self._slots[slot])
-        self._slots[slot] = start + service
+        # Earliest-available slot: the heap root.
+        slot_free = self._slots[0]
+        start = now if now > slot_free else slot_free
+        heapreplace(self._slots, start + service)
         queue_delay = start - now
         self.total_queue_cycles += queue_delay
         self._inflight[page] = start + service

@@ -57,12 +57,12 @@ def cell_path(system: str, workload: str) -> pathlib.Path:
     return GOLDEN_DIR / f"{_slug(system)}__{_slug(workload)}.json"
 
 
-def run_cell(system: str, workload: str) -> dict:
+def run_cell(system: str, workload: str, backend: str = "object") -> dict:
     """One deterministic tiny-scale run, encoded for golden comparison."""
     wl = build_workload(workload, scale="tiny", seed=0)
     config = systems.by_name(system).configure(wl, ratio=0.5)
     session = obs.Observability("light")
-    sim = GpuUvmSimulator(wl, config, obs=session)
+    sim = GpuUvmSimulator(wl, config, obs=session, backend=backend)
     result = sim.run()
 
     encoded = dataclasses.asdict(result)
@@ -76,15 +76,25 @@ def run_cell(system: str, workload: str) -> dict:
     }
 
 
+@pytest.mark.parametrize("backend", ["object", "soa"])
 @pytest.mark.parametrize(("system", "workload"), CELLS)
-def test_optimized_core_matches_golden(system: str, workload: str) -> None:
+def test_optimized_core_matches_golden(
+    system: str, workload: str, backend: str
+) -> None:
+    """Both warp-model backends must reproduce the golden corpus.
+
+    The corpus was recorded with the seed's heap engine and the object
+    warp model; the production stack (two-level engine + SoA backend)
+    must match it bit-for-bit, which locks the SoA rework the same way
+    the engine rework was locked.
+    """
     path = cell_path(system, workload)
     assert path.exists(), (
         f"missing golden file {path.name}; regenerate with "
         "`PYTHONPATH=src python tests/test_equivalence_golden.py --regenerate`"
     )
     golden = json.loads(path.read_text())
-    current = run_cell(system, workload)
+    current = run_cell(system, workload, backend=backend)
 
     # Field-for-field scalar comparison first, so a mismatch names the
     # exact diverging field instead of dumping two full documents.

@@ -58,3 +58,39 @@ def test_duplicate_pages_occupy_entries():
         buf.push(entry(7))
     assert len(buf) == 3
     assert buf.contains_page(7)
+
+
+class _AlwaysDup:
+    """Minimal chaos stand-in: duplicate every non-replay push."""
+
+    def fault_entry_action(self, page, now):
+        return "dup"
+
+
+def test_chaos_duplicate_counts_toward_peak_occupancy():
+    # Regression: the chaos-dup append used to skip the peak_occupancy
+    # update, under-reporting buffer pressure whenever the high-water
+    # mark was set by a duplicated entry.
+    buf = FaultBuffer(8)
+    buf.chaos = _AlwaysDup()
+    assert buf.push(entry(1))
+    assert len(buf) == 2  # duplicate + original
+    assert buf.chaos_duplicated == 1
+    assert buf.peak_occupancy == 2
+
+
+def test_chaos_duplicate_that_fills_buffer_updates_peak_and_gauge():
+    from repro.obs import Observability
+
+    # The duplicate fills the only slot, so the original overflows; the
+    # peak and the live occupancy gauge must still reflect the duplicate.
+    buf = FaultBuffer(1)
+    buf.chaos = _AlwaysDup()
+    session = Observability("full")
+    buf.obs = session
+    assert not buf.push(entry(3))
+    assert len(buf) == 1
+    assert buf.peak_occupancy == 1
+    assert buf.overflow_faults == 1
+    assert buf.chaos_duplicated == 1
+    assert session.metrics.gauge("fault_buffer.occupancy").value == 1

@@ -6,18 +6,13 @@ from repro.errors import ConfigError
 from repro.gpu.config import UvmConfig
 from repro.uvm.prefetcher import NoPrefetcher, TreePrefetcher, make_prefetcher
 
-
-def always(_page):
-    return True
-
-
-def never(_page):
-    return False
+NONE_RESIDENT = frozenset()
+ALL_VALID = None  # no allocation restriction
 
 
 class TestNoPrefetcher:
     def test_returns_nothing(self):
-        assert NoPrefetcher().expand([1, 2, 3], never, always) == []
+        assert NoPrefetcher().expand([1, 2, 3], NONE_RESIDENT, ALL_VALID) == []
 
 
 class TestTreePrefetcher:
@@ -31,7 +26,7 @@ class TestTreePrefetcher:
 
     def test_single_fault_in_cold_region_no_prefetch(self):
         pf = TreePrefetcher(8, 0.5)
-        assert pf.expand([0], never, always) == []
+        assert pf.expand([0], NONE_RESIDENT, ALL_VALID) == []
 
     def test_buddy_pulled_in_when_pair_dense(self):
         # Pages 0 faulted + 1 resident: the 2-page node is 100% covered
@@ -39,46 +34,47 @@ class TestTreePrefetcher:
         pf = TreePrefetcher(8, 0.5)
         resident = {1, 2}
 
-        def is_resident(p):
-            return p in resident
-
         # {0,1} covered; {2} resident -> node {0..3} has 3/4 > 0.5: fetch 3.
-        extra = pf.expand([0], is_resident, always)
+        extra = pf.expand([0], resident, ALL_VALID)
         assert 3 in extra
 
     def test_full_region_cascade(self):
         # 7 of 8 pages resident, faulting the last: nothing left to fetch.
         pf = TreePrefetcher(8, 0.5)
         resident = set(range(1, 8))
-        assert pf.expand([0], lambda p: p in resident, always) == []
+        assert pf.expand([0], resident, ALL_VALID) == []
 
     def test_respects_allocation_boundaries(self):
         pf = TreePrefetcher(8, 0.5)
         valid = {0, 1, 2, 3}  # only half the region backs an allocation
 
-        def is_valid(p):
-            return p in valid
-
-        extra = pf.expand([0, 1, 2], never, is_valid)
+        extra = pf.expand([0, 1, 2], NONE_RESIDENT, valid)
         # {0,1,2} faulted of 4 valid -> 3/4 > 0.5 -> fetch page 3 only.
         assert extra == [3]
 
+    def test_accepts_dict_key_views(self):
+        # The runtime passes the page table's live frame-key view.
+        pf = TreePrefetcher(8, 0.5)
+        frames = {1: 10, 2: 11}
+        extra = pf.expand([0], frames.keys(), ALL_VALID)
+        assert 3 in extra
+
     def test_multiple_regions_handled_independently(self):
         pf = TreePrefetcher(4, 0.5)
-        extra = pf.expand([0, 1, 4, 5], never, always)
+        extra = pf.expand([0, 1, 4, 5], NONE_RESIDENT, ALL_VALID)
         # Each region half-covered (2/4 == 0.5, not >): no prefetch.
         assert extra == []
-        extra = pf.expand([0, 1, 2, 4, 5, 6], never, always)
+        extra = pf.expand([0, 1, 2, 4, 5, 6], NONE_RESIDENT, ALL_VALID)
         assert extra == [3, 7]
 
     def test_prefetched_pages_counter(self):
         pf = TreePrefetcher(4, 0.5)
-        pf.expand([0, 1, 2], never, always)
+        pf.expand([0, 1, 2], NONE_RESIDENT, ALL_VALID)
         assert pf.prefetched_pages == 1
 
     def test_dense_faults_fill_region(self):
         pf = TreePrefetcher(16, 0.5)
-        extra = pf.expand(list(range(9)), never, always)
+        extra = pf.expand(list(range(9)), NONE_RESIDENT, ALL_VALID)
         assert extra == list(range(9, 16))
 
 

@@ -5,10 +5,11 @@ shapes and address patterns) and runs them under randomly chosen systems;
 the conservation invariants must hold for every one.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro import GpuUvmSimulator, systems
+from repro.errors import SimulationError, SimulationStalledError
 from repro.gpu.occupancy import KernelResources
 from repro.vm.address_space import AddressSpace
 from repro.workloads.trace import (
@@ -58,6 +59,28 @@ def mini_workloads(draw):
     return Workload("MINI", vas, [kernel], num_sms_hint=1)
 
 
+def run_or_reject_livelock(sim, max_events=5_000_000):
+    """Run ``sim``; reject (``assume``) examples that thrash forever.
+
+    An oversubscribed random workload can livelock by construction:
+    two warps whose current ops together need more pages than there are
+    frames keep evicting each other's pages on every replay, and the
+    deterministic timing never breaks the tie.  Forward progress under
+    such capacity pressure is not the invariant under test (see
+    ``configure_with_floor``), so reject exactly the event-cap outcome —
+    a drained-queue deadlock or a watchdog stall is still a real bug and
+    propagates.
+    """
+    try:
+        return sim.run(max_events=max_events)
+    except SimulationStalledError:
+        raise
+    except SimulationError as err:
+        if "event cap of" in str(err):
+            assume(False)
+        raise
+
+
 def configure_with_floor(preset, workload, ratio, min_frames=8):
     """A warp op can need several pages resident *simultaneously*; give
     every random memory at least ``min_frames`` frames so forward
@@ -85,7 +108,7 @@ def configure_with_floor(preset, workload, ratio, min_frames=8):
 def test_random_workload_invariants(workload, preset, ratio):
     config = configure_with_floor(preset, workload, ratio)
     sim = GpuUvmSimulator(workload, config)
-    result = sim.run(max_events=5_000_000)
+    result = run_or_reject_livelock(sim)
 
     # Completion and accounting invariants.
     assert result.exec_cycles > 0
@@ -113,8 +136,8 @@ def test_random_workload_invariants(workload, preset, ratio):
 @given(workload=mini_workloads())
 def test_random_workload_determinism(workload):
     config = configure_with_floor(systems.TO_UE, workload, ratio=0.8)
-    a = GpuUvmSimulator(workload, config).run(max_events=5_000_000)
-    b = GpuUvmSimulator(workload, config).run(max_events=5_000_000)
+    a = run_or_reject_livelock(GpuUvmSimulator(workload, config))
+    b = run_or_reject_livelock(GpuUvmSimulator(workload, config))
     assert a.exec_cycles == b.exec_cycles
     assert a.evicted_pages == b.evicted_pages
     assert a.batch_stats.num_batches == b.batch_stats.num_batches

@@ -127,9 +127,7 @@ def test_prefetcher_properties(pages_per_region, data):
     ) - set(faulted)
     valid = set(universe)
 
-    extra = prefetcher.expand(
-        faulted, resident.__contains__, valid.__contains__
-    )
+    extra = prefetcher.expand(faulted, resident, valid)
     extra_set = set(extra)
 
     # Never prefetch demand, resident, or invalid pages; output sorted+unique.
@@ -140,9 +138,5 @@ def test_prefetcher_properties(pages_per_region, data):
 
     # Idempotence: treating prefetched pages as resident, a second expand
     # of the same faults adds nothing new.
-    second = prefetcher.expand(
-        faulted,
-        lambda p: p in resident or p in extra_set,
-        valid.__contains__,
-    )
+    second = prefetcher.expand(faulted, resident | extra_set, valid)
     assert set(second) <= extra_set | set()

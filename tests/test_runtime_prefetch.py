@@ -30,7 +30,7 @@ def make_runtime(frames, *, region_pages=8, eviction=None, valid=None):
         PcieModel(uvm),
         eviction or SerializedEviction(),
         make_prefetcher(uvm),
-        valid or (lambda page: True),
+        valid,
     )
     return engine, runtime
 
@@ -71,7 +71,7 @@ def test_prefetch_zero_headroom():
 
 def test_prefetch_respects_valid_pages():
     valid = set(range(6))
-    engine, runtime = make_runtime(frames=None, valid=valid.__contains__)
+    engine, runtime = make_runtime(frames=None, valid=valid)
     for page in range(5):
         runtime.raise_fault(page, None)
     engine.run()

@@ -103,9 +103,12 @@ class TestFastPathWiring:
     def test_batched_wake_hook_is_installed(self):
         workload = tiny_workload()
         config = systems.UNLIMITED.configure(workload, ratio=1.0)
-        sim = GpuUvmSimulator(workload, config)
-        assert sim.runtime.wake_warps == sim._wake_warps
+        sim = GpuUvmSimulator(workload, config)  # default backend: soa
+        assert sim.runtime.wake_warps == sim._wake_warps_soa
         assert sim.runtime.wake_warp == sim._wake_warp
+        obj = GpuUvmSimulator(workload, config, backend="object")
+        assert obj.runtime.wake_warps == obj._wake_warps
+        assert obj.runtime.wake_warp == obj._wake_warp
 
     def test_batched_wake_matches_per_warp_fallback(self):
         """Disabling the batched hook (runtime falls back to per-warp

@@ -81,3 +81,25 @@ class TestWarpLifecycle:
         assert warp.current_op() is ops[0]
         warp.advance()
         assert warp.current_op() is ops[1]
+
+    def test_restall_preserves_stall_start(self):
+        # Regression: stalling an already-STALLED warp (a replay faulting
+        # on a new page set while earlier faults are outstanding) used to
+        # overwrite stall_start, silently dropping the already-accrued
+        # stall time from stalled_cycles.
+        warp = make_warp()
+        warp.stall_on([1], now=100, replay_latency=40)
+        warp.stall_on([2], now=500, replay_latency=25)
+        assert warp.stall_start == 100
+        # Replay latencies merge by max (overlapping replays), not by
+        # overwrite with the latest.
+        assert warp.resume_latency == 40
+        assert not warp.page_arrived(1, now=900)
+        assert warp.page_arrived(2, now=1000)
+        assert warp.stalled_cycles == 900  # since 100, not since 500
+
+    def test_restall_merges_larger_replay_latency(self):
+        warp = make_warp()
+        warp.stall_on([1], now=0, replay_latency=10)
+        warp.stall_on([2], now=50, replay_latency=70)
+        assert warp.resume_latency == 70
