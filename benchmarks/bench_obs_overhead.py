@@ -37,6 +37,12 @@ GUARD_SITES_PER_EVENT = 8
 #: Events in the synthetic storm used to resolve the per-event guard cost.
 STORM_EVENTS = 200_000
 
+#: Upper bound on the *additional* `analytics is not None` guards per
+#: engine event added by repro.obs.analytics: op execution (2 charge
+#: sites), warp wake (3 wake paths), batch begin/end, page arrival, SM
+#: context switch.  When analytics is disabled these are the only cost.
+ANALYTICS_GUARD_SITES = 8
+
 
 class BareEngine(HeapEngine):
     """The seed's event loop, verbatim minus the obs hooks.
@@ -136,6 +142,36 @@ def test_obs_off_overhead_below_two_percent():
     )
     assert overhead < 0.02, (
         f"obs-off guard overhead {overhead:.3%} exceeds the 2% budget"
+    )
+
+
+def test_analytics_off_overhead_below_two_percent():
+    """Analytics disabled must stay under the same 2% budget.
+
+    With ``analytics=False`` every analytics hook is one pointer test
+    (``self._an is not None`` / ``self.analytics is not None``), the same
+    shape the base instrumentation uses, so the measured per-guard cost
+    transfers directly: estimated overhead = guard cost x analytics guard
+    sites x events / runtime.
+    """
+    assert obs.current() is None, "a leaked obs session would skew timing"
+
+    bare, guarded = interleaved_mins(
+        lambda: drain_storm(BareEngine()), lambda: drain_storm(HeapEngine())
+    )
+    guard_cost_per_event = max(0.0, guarded - bare) / STORM_EVENTS
+
+    off_seconds, events = min(timed_tiny_run(None) for _ in range(3))
+    estimated = guard_cost_per_event * ANALYTICS_GUARD_SITES * events
+    overhead = estimated / off_seconds
+
+    print(
+        f"\nanalytics off: estimated guard overhead {overhead:.3%} "
+        f"({ANALYTICS_GUARD_SITES} analytics guard sites/event over "
+        f"{events:,} events)"
+    )
+    assert overhead < 0.02, (
+        f"analytics-off guard overhead {overhead:.3%} exceeds the 2% budget"
     )
 
 

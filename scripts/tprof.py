@@ -58,6 +58,13 @@ def main(argv: list[str] | None = None) -> int:
         "--json", type=argparse.FileType("w"), metavar="PATH",
         help="also write the attribution as JSON",
     )
+    parser.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help=(
+            "show only the N hottest components; the rest fold into one "
+            "'(below top-N)' row (applies to the table and --json)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.simulator import GpuUvmSimulator
@@ -76,7 +83,7 @@ def main(argv: list[str] | None = None) -> int:
         f"backend={args.backend}): {result.exec_cycles:,} cycles, "
         f"{result.events_processed:,} events"
     )
-    print(prof.render())
+    print(prof.render(top=args.top))
 
     if args.json is not None:
         json.dump(
@@ -86,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
                 "scale": args.scale,
                 "backend": args.backend,
                 "wall_seconds": prof.wall_ns / 1e9,
-                "attribution": prof.attribution(),
+                "attribution": prof.attribution(top=args.top),
             },
             args.json,
             indent=1,

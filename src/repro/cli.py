@@ -22,6 +22,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import obs as obs_mod
@@ -84,10 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trace-obs-events",
+        "--trace-buffer",
+        dest="trace_obs_events",
         type=int,
         default=200_000,
         metavar="N",
-        help="ring-buffer capacity for trace events (default: 200000)",
+        help=(
+            "ring-buffer capacity for trace events (default: 200000); "
+            "events beyond the ring are counted as dropped"
+        ),
     )
     parser.add_argument(
         "--trace-out",
@@ -109,6 +115,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline",
         action="store_true",
         help="print the ASCII Figure-2 batch timeline",
+    )
+    parser.add_argument(
+        "--analytics",
+        action="store_true",
+        help=(
+            "enable batch-level analytics (stall attribution, batch "
+            "records, flight recorder) and print the bottleneck report"
+        ),
+    )
+    parser.add_argument(
+        "--analytics-out",
+        metavar="PATH",
+        help="write the analysis report JSON (implies --analytics)",
+    )
+    parser.add_argument(
+        "--features-out",
+        metavar="PATH",
+        help=(
+            "write per-batch feature vectors, JSONL or .csv "
+            "(implies --analytics)"
+        ),
+    )
+    parser.add_argument(
+        "--flight-out",
+        metavar="PATH",
+        help=(
+            "on failure, write the flight-recorder dump (recent batches "
+            "+ engine events) to PATH (implies --analytics)"
+        ),
     )
     parser.add_argument(
         "--chaos",
@@ -149,10 +184,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    wants_obs_output = args.trace_out or args.metrics_out or args.report
+    analytics = bool(
+        args.analytics
+        or args.analytics_out
+        or args.features_out
+        or args.flight_out
+    )
+    wants_obs_output = (
+        args.trace_out or args.metrics_out or args.report or analytics
+    )
     if args.obs == "off" and wants_obs_output:
         parser.error(
-            "--trace-out/--metrics-out/--report require --obs light or full"
+            "--trace-out/--metrics-out/--report/--analytics require "
+            "--obs light or full"
         )
 
     try:
@@ -168,7 +212,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc).strip('"'))
 
     obs = (
-        obs_mod.Observability(args.obs, max_trace_events=args.trace_obs_events)
+        obs_mod.Observability(
+            args.obs,
+            max_trace_events=args.trace_obs_events,
+            analytics=analytics,
+        )
         if args.obs != "off"
         else None
     )
@@ -180,6 +228,10 @@ def main(argv: list[str] | None = None) -> int:
         ).run(max_events=args.max_events, wall_budget_seconds=args.wall_budget)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        dump = getattr(exc, "flight_recorder", None)
+        if dump is not None and args.flight_out:
+            path = obs_mod.write_flight_dump(dump, args.flight_out)
+            print(f"flight recorder: {len(dump['events'])} events -> {path}")
         return 1
 
     print(result.summary())
@@ -216,6 +268,25 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 path = obs_mod.write_metrics_json(obs.metrics, args.metrics_out)
             print(f"metrics: {len(obs.metrics)} series -> {path}")
+        if obs.analytics is not None and obs.analytics.runs:
+            runs = obs.analytics.runs
+            report = obs_mod.build_report(
+                [obs_mod.analyze_run(run, system=args.system) for run in runs]
+            )
+            print()
+            print(obs_mod.render_analysis(report))
+            if args.analytics_out:
+                with open(args.analytics_out, "w") as fh:
+                    json.dump(report, fh, indent=2)
+                    fh.write("\n")
+                print(f"analysis: -> {args.analytics_out}")
+            if args.features_out:
+                if str(args.features_out).endswith(".csv"):
+                    path = obs_mod.write_features_csv(runs, args.features_out)
+                else:
+                    path = obs_mod.write_features_jsonl(runs, args.features_out)
+                total = sum(len(run.batches) for run in runs)
+                print(f"features: {total} batches -> {path}")
     return 0
 
 

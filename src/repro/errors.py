@@ -116,6 +116,9 @@ class CellFailure(ReproError):
         self.system = system
         self.attempts = attempts
         self.error_type = error_type
+        #: Flight-recorder dump attached by the harness when the failing
+        #: run had batch analytics enabled (see repro.obs.analytics).
+        self.flight_recorder: dict | None = None
 
     def summary(self) -> str:
         """One-line digest for sweep reports."""
@@ -126,7 +129,7 @@ class CellFailure(ReproError):
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (runner failure snapshots)."""
-        return {
+        record = {
             "workload": self.workload,
             "system": self.system,
             "attempts": self.attempts,
@@ -134,3 +137,6 @@ class CellFailure(ReproError):
             "message": str(self.args[0]) if self.args else "",
             "context": {k: repr(v) for k, v in self.context.items()},
         }
+        if getattr(self, "flight_recorder", None) is not None:
+            record["flight_recorder"] = self.flight_recorder
+        return record

@@ -540,6 +540,10 @@ def _record_failure(
         error_type=type(exc).__qualname__,
         scale=spec.scale,
     )
+    # The simulator attaches a flight-recorder dump (recent batches +
+    # engine events) to the exception when analytics is on; carry it so
+    # the runner's failure snapshot includes the forensics.
+    failure.flight_recorder = getattr(exc, "flight_recorder", None)
     if _ON_ERROR != "keep-going":
         raise failure from exc
     FAILURES.append(failure)

@@ -93,6 +93,7 @@ def _dump_failures(directory: str, experiment: str, failures) -> None:
                 "failures": [f.to_dict() for f in failures],
             },
             indent=2,
+            default=repr,
         )
         + "\n"
     )
@@ -187,6 +188,32 @@ def main(argv: list[str] | None = None) -> int:
         "in .csv)",
     )
     parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="ring-buffer capacity for trace events (default: 200000)",
+    )
+    parser.add_argument(
+        "--analytics-out",
+        metavar="PATH",
+        help=(
+            "write a batch-analytics report (JSON) covering every cell "
+            "simulated in-process; implies --obs light (cache hits and "
+            "worker-process cells contribute no batches — combine with "
+            "--no-cache and --jobs 1 for full coverage)"
+        ),
+    )
+    parser.add_argument(
+        "--features-out",
+        metavar="PATH",
+        help=(
+            "write per-batch feature vectors for every in-process cell, "
+            "JSONL or .csv (implies --obs light; see --analytics-out "
+            "caveats)"
+        ),
+    )
+    parser.add_argument(
         "--chaos",
         metavar="SPEC",
         default=None,
@@ -271,10 +298,21 @@ def main(argv: list[str] | None = None) -> int:
     if keep_going:
         common.set_on_error("keep-going")
 
+    analytics = bool(args.analytics_out or args.features_out)
     obs_mode = args.obs
     if obs_mode == "off" and (args.trace_out or args.metrics_out):
         obs_mode = "full"
-    obs = None if obs_mode == "off" else obs_mod.Observability(obs_mode)
+    if obs_mode == "off" and analytics:
+        obs_mode = "light"
+    obs = (
+        None
+        if obs_mode == "off"
+        else obs_mod.Observability(
+            obs_mode,
+            max_trace_events=args.trace_buffer,
+            analytics=analytics,
+        )
+    )
     previous_obs = obs_mod.install(obs) if obs is not None else None
     if obs is not None and (args.jobs or 0) > 1 and args.trace_out:
         print(
@@ -336,7 +374,16 @@ def main(argv: list[str] | None = None) -> int:
         if obs is not None:
             if args.trace_out:
                 path = obs_mod.write_chrome_trace(obs.tracer, args.trace_out)
-                print(f"trace: {len(obs.tracer.events):,} events -> {path}")
+                dropped = (
+                    f" ({obs.tracer.dropped:,} dropped beyond the "
+                    f"{args.trace_buffer:,}-event ring)"
+                    if obs.tracer.dropped
+                    else ""
+                )
+                print(
+                    f"trace: {len(obs.tracer.events):,} events -> "
+                    f"{path}{dropped}"
+                )
             if args.metrics_out:
                 if str(args.metrics_out).endswith(".csv"):
                     path = obs_mod.write_metrics_csv(
@@ -347,6 +394,32 @@ def main(argv: list[str] | None = None) -> int:
                         obs.metrics, args.metrics_out
                     )
                 print(f"metrics: {len(obs.metrics)} series -> {path}")
+            if obs.analytics is not None:
+                import json
+
+                runs = obs.analytics.runs
+                if args.analytics_out:
+                    report = obs_mod.build_report(
+                        [obs_mod.analyze_run(run) for run in runs]
+                    )
+                    with open(args.analytics_out, "w") as fh:
+                        json.dump(report, fh, indent=2)
+                        fh.write("\n")
+                    print(
+                        f"analysis: {len(runs)} in-process runs -> "
+                        f"{args.analytics_out}"
+                    )
+                if args.features_out:
+                    if str(args.features_out).endswith(".csv"):
+                        path = obs_mod.write_features_csv(
+                            runs, args.features_out
+                        )
+                    else:
+                        path = obs_mod.write_features_jsonl(
+                            runs, args.features_out
+                        )
+                    total = sum(len(run.batches) for run in runs)
+                    print(f"features: {total} batches -> {path}")
     finally:
         if obs is not None:
             obs_mod.install(previous_obs)

@@ -60,6 +60,10 @@ class StreamingMultiprocessor:
         #: expensive (Figure 5) while being nearly free under demand
         #: paging, where the other blocks are fault-stalled anyway.
         self.switch_busy_until = 0
+        #: Optional :class:`repro.obs.analytics.RunAnalytics` — context
+        #: switches land in the flight recorder; None costs one pointer
+        #: test per switch.
+        self.analytics = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -132,6 +136,16 @@ class StreamingMultiprocessor:
         incoming.state = BlockState.SWITCHING
         incoming.context_switches += 1
         self._switching += 1
+        an = self.analytics
+        if an is not None:
+            an.flight.record(
+                "context_switch",
+                self.engine.now,
+                sm=self.sm_id,
+                out=block.block_id,
+                into=incoming.block_id,
+                cost=cost,
+            )
 
         def finish_switch() -> None:
             self._switching -= 1

@@ -142,6 +142,7 @@ class Warp:
         "stall_start",
         "stalled_cycles",
         "mem_wait",
+        "replay_pending",
         "exec_event",
         "complete_event",
     )
@@ -166,6 +167,10 @@ class Warp:
         #: True while the warp's in-flight access is waiting on DRAM; used
         #: by the forced-oversubscription (Figure 5) switch trigger.
         self.mem_wait = False
+        #: True between a fault-stall wake and the next op issue; lets the
+        #: analytics layer charge the re-issued op's cycles to the
+        #: ``replay`` bucket.  Only written when analytics is enabled.
+        self.replay_pending = False
 
     # ------------------------------------------------------------------
     @property

@@ -100,6 +100,7 @@ class WarpStore:
         "stalled_cycles",
         "resume_latency",
         "mem_wait",
+        "replay_pending",
         "n_ops",
         "op_pages",
         "op_lines",
@@ -119,6 +120,9 @@ class WarpStore:
         self.stalled_cycles = [0] * n
         self.resume_latency = [0] * n
         self.mem_wait = [False] * n
+        # Analytics-only flag (see Warp.replay_pending); stays False
+        # everywhere when analytics is off.
+        self.replay_pending = [False] * n
         self.n_ops = [0] * n
         # Ragged per-warp data, indexed by the same warp index: tuples
         # per op, precomputed once at launch (or fetched from the
@@ -239,6 +243,14 @@ class SoAWarp:
     @mem_wait.setter
     def mem_wait(self, value: bool) -> None:
         self.store.mem_wait[self.index] = value
+
+    @property
+    def replay_pending(self) -> bool:
+        return self.store.replay_pending[self.index]
+
+    @replay_pending.setter
+    def replay_pending(self, value: bool) -> None:
+        self.store.replay_pending[self.index] = value
 
     def stall_on(self, pages: Iterable[int], now: int, replay_latency: int) -> None:
         """Same semantics as :meth:`Warp.stall_on`, including the

@@ -35,6 +35,24 @@ from contextlib import contextmanager
 from typing import Callable, Iterator
 
 from repro.errors import ConfigError
+from repro.obs.analytics import (
+    BUCKETS,
+    FEATURE_FIELDS,
+    AnalyticsSession,
+    BatchObservation,
+    CycleAttribution,
+    FlightRecorder,
+    RunAnalytics,
+    analyze_run,
+    build_report,
+    feature_row,
+    feature_rows,
+    render_analysis,
+    validate_report,
+    write_features_csv,
+    write_features_jsonl,
+    write_flight_dump,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
@@ -60,7 +78,13 @@ MODES = ("off", "light", "full")
 class Observability:
     """One instrumentation session: a tracer plus a metric registry."""
 
-    def __init__(self, mode: str = "full", max_trace_events: int = 200_000) -> None:
+    def __init__(
+        self,
+        mode: str = "full",
+        max_trace_events: int = 200_000,
+        analytics: bool = False,
+        flight_events: int = 64,
+    ) -> None:
         if mode not in ("light", "full"):
             raise ConfigError(
                 f"observability mode must be one of {MODES}, got {mode!r} "
@@ -71,6 +95,12 @@ class Observability:
         self.full = mode == "full"
         self.tracer = Tracer(max_events=max_trace_events)
         self.metrics = MetricRegistry()
+        #: Batch-level analytics (:mod:`repro.obs.analytics`): stall
+        #: attribution, BatchObservation stream, flight recorder.  None
+        #: keeps every analytics hook a single pointer test.
+        self.analytics = (
+            AnalyticsSession(flight_events=flight_events) if analytics else None
+        )
         # Per-event-kind dispatch counters, memoised by callback qualname
         # so the engine's hot loop does one dict lookup per event.
         self._kind_counters: dict[str, CounterMetric] = {}
@@ -122,22 +152,36 @@ def install(obs: Observability | None) -> Observability | None:
 
 
 def configure(
-    mode: str = "full", max_trace_events: int = 200_000
+    mode: str = "full",
+    max_trace_events: int = 200_000,
+    analytics: bool = False,
+    flight_events: int = 64,
 ) -> Observability | None:
     """Create and install a session for ``mode`` (``"off"`` uninstalls)."""
     if mode not in MODES:
         raise ConfigError(f"observability mode must be one of {MODES}, got {mode!r}")
-    obs = None if mode == "off" else Observability(mode, max_trace_events)
+    obs = (
+        None
+        if mode == "off"
+        else Observability(mode, max_trace_events, analytics, flight_events)
+    )
     install(obs)
     return obs
 
 
 @contextmanager
 def session(
-    mode: str = "full", max_trace_events: int = 200_000
+    mode: str = "full",
+    max_trace_events: int = 200_000,
+    analytics: bool = False,
+    flight_events: int = 64,
 ) -> Iterator[Observability | None]:
     """Temporarily install a session; restores the previous one on exit."""
-    obs = None if mode == "off" else Observability(mode, max_trace_events)
+    obs = (
+        None
+        if mode == "off"
+        else Observability(mode, max_trace_events, analytics, flight_events)
+    )
     previous = install(obs)
     try:
         yield obs
@@ -168,4 +212,20 @@ __all__ = [
     "write_metrics_json",
     "write_metrics_csv",
     "render_report",
+    "BUCKETS",
+    "FEATURE_FIELDS",
+    "AnalyticsSession",
+    "RunAnalytics",
+    "BatchObservation",
+    "CycleAttribution",
+    "FlightRecorder",
+    "analyze_run",
+    "build_report",
+    "render_analysis",
+    "validate_report",
+    "feature_row",
+    "feature_rows",
+    "write_features_jsonl",
+    "write_features_csv",
+    "write_flight_dump",
 ]

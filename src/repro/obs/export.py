@@ -110,6 +110,7 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
         "otherData": {
             "time_unit": "1 simulated cycle = 1 ns (1 GHz GPU clock)",
             "dropped_events": tracer.dropped,
+            "ring_capacity": tracer.max_events,
         },
     }
 

@@ -155,18 +155,33 @@ class ComponentProfiler:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
-    def attribution(self) -> dict[str, dict[str, float]]:
-        """Per-component {seconds, calls, share}; shares are of wall time."""
+    def attribution(self, top: int | None = None) -> dict[str, dict[str, float]]:
+        """Per-component {seconds, calls, share}; shares are of wall time.
+
+        ``top`` keeps only the N hottest components; the tail is folded
+        into a ``(below top-N)`` row so the table still sums to the same
+        total.  The ``(engine/other)`` remainder row is always kept.
+        """
         wall = self.wall_ns or sum(self.self_ns.values()) or 1
-        out = {}
-        for component in sorted(
+        ranked = sorted(
             self.self_ns, key=self.self_ns.__getitem__, reverse=True
-        ):
+        )
+        kept = ranked if top is None else ranked[: max(0, top)]
+        tail = [] if top is None else ranked[max(0, top) :]
+        out = {}
+        for component in kept:
             ns = self.self_ns[component]
             out[component] = {
                 "seconds": ns / 1e9,
                 "calls": self.calls[component],
                 "share": ns / wall,
+            }
+        if tail:
+            tail_ns = sum(self.self_ns[c] for c in tail)
+            out[f"(below top-{top})"] = {
+                "seconds": tail_ns / 1e9,
+                "calls": sum(self.calls[c] for c in tail),
+                "share": tail_ns / wall,
             }
         attributed = sum(self.self_ns.values())
         if self.wall_ns:
@@ -188,9 +203,9 @@ class ComponentProfiler:
                     row["calls"]
                 )
 
-    def render(self) -> str:
+    def render(self, top: int | None = None) -> str:
         """Human-readable attribution table, hottest component first."""
-        rows = self.attribution()
+        rows = self.attribution(top=top)
         if not rows:
             return "no profiled components were entered"
         lines = [

@@ -50,24 +50,52 @@ def _track_table(tracer: Tracer) -> list[str]:
     return lines
 
 
+def _label_sort_key(labels) -> tuple:
+    """Numeric-aware label ordering: ``sm=2`` sorts before ``sm=10``.
+
+    Plain string ordering interleaves numeric label values
+    (``0, 1, 10, 11, 2, ...``), which scrambles per-SM series in the
+    report.  Digits compare as integers; everything else stays
+    lexicographic (all-numeric values sort before text for the same key).
+    """
+    return tuple(
+        (k, 0, int(v), "") if v.isdigit() else (k, 1, 0, v)
+        for k, v in labels
+    )
+
+
+def _metric_sort_key(metric) -> tuple:
+    return (metric.kind, metric.name, _label_sort_key(metric.labels))
+
+
 def _metric_table(registry: MetricRegistry) -> list[str]:
     if not len(registry):
         return ["  (no metrics recorded)"]
+    metrics = sorted(registry, key=_metric_sort_key)
+    scalars = [m for m in metrics if m.kind != "histogram"]
+    histograms = [m for m in metrics if m.kind == "histogram"]
     lines = []
-    for metric in registry:
+    for metric in scalars:
         if metric.kind == "counter":
             lines.append(f"  {metric.full_name:<44} {_fmt(metric.value):>14}")
-        elif metric.kind == "gauge":
+        else:
             peak = f" (peak {_fmt(metric.max)})" if metric.max is not None else ""
             lines.append(
                 f"  {metric.full_name:<44} {_fmt(metric.value):>14}{peak}"
             )
-        else:
+    if histograms:
+        width = max(9, max(len(m.full_name) for m in histograms))
+        lines.append("")
+        lines.append(
+            f"  {'histogram':<{width}} {'n':>8} {'mean':>12} {'min':>10} "
+            f"{'p50':>10} {'p99':>10} {'max':>12}"
+        )
+        for metric in histograms:
             lines.append(
-                f"  {metric.full_name:<44} "
-                f"n={metric.count} mean={_fmt(metric.mean)} "
-                f"min={_fmt(metric.min)} p50={_fmt(metric.percentile(50))} "
-                f"p99={_fmt(metric.percentile(99))} max={_fmt(metric.max)}"
+                f"  {metric.full_name:<{width}} {metric.count:>8,} "
+                f"{_fmt(metric.mean):>12} {_fmt(metric.min):>10} "
+                f"{_fmt(metric.percentile(50)):>10} "
+                f"{_fmt(metric.percentile(99)):>10} {_fmt(metric.max):>12}"
             )
     return lines
 

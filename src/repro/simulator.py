@@ -25,7 +25,13 @@ from repro.chaos import ChaosSession
 from repro.core.batching import BatchStats
 from repro.core.lifetime import PageLifetimeMonitor
 from repro.core.oversubscription import ThreadOversubscriptionController
-from repro.errors import ConfigError, SimulationError
+from repro.errors import (
+    ConfigError,
+    InjectionError,
+    InvariantViolation,
+    SimulationError,
+    SimulationStalledError,
+)
 from repro.gpu.caches import CacheHierarchy
 from repro.gpu.config import SimConfig
 from repro.gpu.context import ContextCostModel
@@ -324,6 +330,18 @@ class GpuUvmSimulator:
             self.runtime.invariants = self.invariants
 
         self.to_controller = ThreadOversubscriptionController(config.to)
+
+        #: Per-run analytics (:mod:`repro.obs.analytics`): opened only
+        #: when the obs session was built with ``analytics=True``; every
+        #: hot-path hook below guards on ``self._an is not None``.
+        self._an = None
+        if self.obs is not None:
+            analytics = getattr(self.obs, "analytics", None)
+            if analytics is not None:
+                self._an = analytics.open_run(workload.name, config.gpu.num_sms)
+                self._an.oversub_probe = self._extra_blocks_allowed
+                self.runtime.analytics = self._an
+
         self.lifetime_monitor = PageLifetimeMonitor(
             self.engine,
             self.memory,
@@ -410,6 +428,21 @@ class GpuUvmSimulator:
             if self.invariants is not None:
                 self.invariants.on_quiescence(self.engine.now)
             return self._build_result()
+        except (SimulationStalledError, InvariantViolation, InjectionError) as exc:
+            an = self._an
+            if an is not None:
+                # Flight-recorder dump: recent batch records + engine
+                # events, attached as an *attribute* (ReproError.__reduce__
+                # preserves __dict__, so the dump survives worker-process
+                # pickling and lands in the runner's failure snapshots).
+                exc.flight_recorder = an.failure_dump(
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    now=self.engine.now,
+                    state=self.state_snapshot(),
+                    fault_buffer=self.runtime.fault_buffer.counters(),
+                )
+            raise
         finally:
             if self.obs is not None:
                 self.obs.tracer.set_scope(previous_scope)
@@ -456,6 +489,16 @@ class GpuUvmSimulator:
             if self.etc.triggered and self.etc.throttling:
                 for sm in self.etc.throttled_sms:
                     sm.set_throttled(True)
+        an = self._an
+        if an is not None:
+            for sm in self._sms:
+                sm.analytics = an
+            an.flight.record(
+                "kernel_start",
+                self.engine.now,
+                kernel=self._kernel_index,
+                blocks=len(blocks),
+            )
 
         extra = self._extra_blocks_allowed
         self._dispatcher = Dispatcher(
@@ -628,7 +671,17 @@ class GpuUvmSimulator:
             if not result.resident:
                 missing.append(page)
 
+        an = self._an
         if missing:
+            if an is not None:
+                # Busy cycles leading up to the faulting access; charged
+                # to ``replay`` when this issue is a post-stall re-issue.
+                cycles = self._compute_cycles(op)
+                if warp.replay_pending:
+                    warp.replay_pending = False
+                    an.attr.replay[sm.sm_id] += cycles
+                else:
+                    an.attr.compute[sm.sm_id] += cycles
             warp.stall_on(missing, now, 0)
             for page in missing:
                 self._unique_fault_pages.add(page)
@@ -654,6 +707,15 @@ class GpuUvmSimulator:
             warp.mem_wait = True
             sm.on_warp_mem_wait(warp)
 
+        if an is not None:
+            # Busy cycles of the retiring op: its issue compute plus the
+            # translation + data latency it just paid.
+            cycles = self._compute_cycles(op) + total
+            if warp.replay_pending:
+                warp.replay_pending = False
+                an.attr.replay[sm.sm_id] += cycles
+            else:
+                an.attr.compute[sm.sm_id] += cycles
         warp.advance()
         if warp.finished:
             self.engine.schedule(total, warp.complete_event)
@@ -773,6 +835,17 @@ class GpuUvmSimulator:
                 latency = lat
 
         if missing is not None:
+            an = self._an
+            if an is not None:
+                # Mirror of the object path's fault-issue busy charge
+                # (op_compute is pre-scaled, so values are identical).
+                cycles = store.op_compute[i][pc]
+                replay_pending = store.replay_pending
+                if replay_pending[i]:
+                    replay_pending[i] = False
+                    an.attr.replay[sm.sm_id] += cycles
+                else:
+                    an.attr.compute[sm.sm_id] += cycles
             warp.stall_on(missing, now, 0)
             unique_fault_pages = self._unique_fault_pages
             raise_fault = self.runtime.raise_fault
@@ -851,6 +924,16 @@ class GpuUvmSimulator:
             if sm.forced_oversubscription:
                 sm.on_warp_mem_wait(warp)
 
+        an = self._an
+        if an is not None:
+            # Mirror of the object path's retire busy charge.
+            cycles = store.op_compute[i][pc] + total
+            replay_pending = store.replay_pending
+            if replay_pending[i]:
+                replay_pending[i] = False
+                an.attr.replay[sm.sm_id] += cycles
+            else:
+                an.attr.compute[sm.sm_id] += cycles
         pc += 1
         store.pc[i] = pc
         compute = store.op_compute[i]
@@ -895,6 +978,15 @@ class GpuUvmSimulator:
     # ------------------------------------------------------------------
     def _wake_warp(self, warp: Warp) -> None:
         block = warp.block
+        an = self._an
+        if an is not None:
+            sm0 = block.sm
+            an.record_stall(
+                sm0.sm_id if sm0 is not None else an.attr.num_sms,
+                warp.stall_start,
+                self.engine.now,
+            )
+            warp.replay_pending = True
         if block.state is BlockState.ACTIVE:
             sm: StreamingMultiprocessor = block.sm
             if sm.throttled:
@@ -935,11 +1027,23 @@ class GpuUvmSimulator:
         each waiter is notified and woken before the next is notified.
         """
         obs = self.obs
+        an = self._an
         schedule_warp = self._schedule_warp
         for warp in waiters:
             if not warp.page_arrived(page, now):
                 continue
             block = warp.block
+            if an is not None:
+                # Decompose the just-finished stall interval in *every*
+                # wake branch (active, suspended, inactive) so the bucket
+                # totals tile stalled_cycles exactly.
+                sm0 = block.sm
+                an.record_stall(
+                    sm0.sm_id if sm0 is not None else an.attr.num_sms,
+                    warp.stall_start,
+                    now,
+                )
+                warp.replay_pending = True
             if block.state is BlockState.ACTIVE:
                 sm: StreamingMultiprocessor = block.sm
                 if sm.throttled:
@@ -973,6 +1077,7 @@ class GpuUvmSimulator:
         notified and fully woken before the next is notified.
         """
         obs = self.obs
+        an = self._an
         schedule_warp = self._schedule_warp_soa
         for warp in waiters:
             store = warp.store
@@ -990,6 +1095,15 @@ class GpuUvmSimulator:
             store.stalled_cycles[i] += now - stall_start
             state[i] = SOA_READY
             block = warp.block
+            if an is not None:
+                # Same every-branch decomposition as the object path.
+                sm0 = block.sm
+                an.record_stall(
+                    sm0.sm_id if sm0 is not None else an.attr.num_sms,
+                    stall_start,
+                    now,
+                )
+                store.replay_pending[i] = True
             if block.state is BlockState.ACTIVE:
                 sm: StreamingMultiprocessor = block.sm
                 if sm.throttled:
@@ -1108,6 +1222,8 @@ class GpuUvmSimulator:
             result.extras["invariant_checks"] = self.invariants.checks_run
         if self.obs is not None:
             self._flush_obs(result)
+        if self._an is not None:
+            self._an.finish(result)
         return result
 
 

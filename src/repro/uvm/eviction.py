@@ -43,6 +43,11 @@ class EvictionPlan:
     #: When the first page transfer begins (defines the measured GPU
     #: runtime fault handling time).
     first_migration_start: int | None = None
+    #: Per-migration cycles the page waited on an eviction-freed frame
+    #: beyond plain H2D channel availability, aligned with ``arrivals``.
+    #: Zero when a free frame (or unlimited memory) was at hand.  Feeds
+    #: the analytics layer's ``eviction_wait`` stall bucket.
+    frame_waits: list[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Eviction-pipeline accounting (observability layer)
@@ -69,6 +74,9 @@ class EvictionPlan:
         if window <= 0:
             return 1.0
         return min(1.0, self.eviction_busy_cycles() / window)
+
+    def total_frame_wait(self) -> int:
+        return sum(self.frame_waits)
 
 
 class EvictionStrategy:
@@ -127,6 +135,7 @@ class SerializedEviction(EvictionStrategy):
             if free > 0:
                 free -= 1
                 start, arrival = pcie.h2d.enqueue(migration_start, mig[k])
+                plan.frame_waits.append(0)
             else:
                 # Allocation failed: evict reactively, then migrate.  The
                 # runtime loop is sequential, so the eviction cannot start
@@ -137,6 +146,10 @@ class SerializedEviction(EvictionStrategy):
                 ev_start, ev_finish = pcie.d2h.enqueue(evict_at, evi[index])
                 plan.evictions.append((ev_start, ev_finish))
                 start, arrival = pcie.h2d.enqueue(ev_finish, mig[k])
+                # The migration could have started at evict_at but for
+                # the reactive eviction — everything past that point is
+                # frame wait.
+                plan.frame_waits.append(max(0, start - evict_at))
             if plan.first_migration_start is None:
                 plan.first_migration_start = start
             plan.arrivals.append(arrival)
@@ -168,6 +181,7 @@ class UnobtrusiveEviction(EvictionStrategy):
                 if plan.first_migration_start is None:
                     plan.first_migration_start = start
                 plan.arrivals.append(arrival)
+                plan.frame_waits.append(0)
             return plan
 
         needed = max(0, n_pages - free_frames)
@@ -199,10 +213,13 @@ class UnobtrusiveEviction(EvictionStrategy):
                 # so no preemptive eviction ran, and they just ran out).
                 issue_eviction(max(batch_start, pcie.h2d.busy_until))
             ready = frame_ready[k]
+            # Where the migration would have started with a frame in hand.
+            unconstrained = max(migration_start, pcie.h2d.busy_until)
             start, arrival = pcie.h2d.enqueue(max(migration_start, ready), mig[k])
             if plan.first_migration_start is None:
                 plan.first_migration_start = start
             plan.arrivals.append(arrival)
+            plan.frame_waits.append(max(0, start - unconstrained))
             # Schedule the next eviction along with this migration
             # (bottom-half ISR pairing), keeping one frame ahead.
             if len(plan.evictions) < needed and len(frame_ready) <= k + 1:
@@ -239,6 +256,7 @@ class IdealEviction(EvictionStrategy):
             else:
                 plan.evictions.append((start, start))
             plan.arrivals.append(arrival)
+            plan.frame_waits.append(0)
         return plan
 
 

@@ -123,6 +123,22 @@ class FaultBuffer:
                 obs.metrics.gauge("fault_buffer.occupancy").set(0)
         return entries
 
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the cumulative buffer counters.
+
+        The analytics layer diffs consecutive snapshots to attribute
+        overflows (and chaos perturbations) to individual batches, and
+        embeds one in every flight-recorder failure dump.
+        """
+        return {
+            "total_faults": self.total_faults,
+            "overflow_faults": self.overflow_faults,
+            "peak_occupancy": self.peak_occupancy,
+            "chaos_dropped": self.chaos_dropped,
+            "chaos_duplicated": self.chaos_duplicated,
+            "buffered_entries": len(self._entries),
+        }
+
     def contains_page(self, page: int) -> bool:
         return page in self._pages
 

@@ -62,6 +62,13 @@ class GpuMemoryManager:
         """True when allocating a new page would require an eviction."""
         return not self.unlimited and not self._free_frames
 
+    @property
+    def occupancy_pct(self) -> float:
+        """Resident pages as a percentage of capacity (0.0 if unlimited)."""
+        if self.unlimited or not self.capacity:
+            return 0.0
+        return 100.0 * len(self._alloc_time) / self.capacity
+
     def evictions_needed(self, new_pages: int) -> int:
         """How many evictions servicing ``new_pages`` migrations requires."""
         if self.unlimited:

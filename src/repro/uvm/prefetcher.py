@@ -34,6 +34,8 @@ class NoPrefetcher:
     """Prefetching disabled: a batch migrates exactly its faulted pages."""
 
     name = "none"
+    #: Regions examined by the most recent :meth:`expand` call (analytics).
+    last_regions = 0
 
     def expand(
         self,
@@ -57,6 +59,8 @@ class TreePrefetcher:
         self.pages_per_region = pages_per_region
         self.threshold = threshold
         self.prefetched_pages = 0
+        #: Regions examined by the most recent expand call (analytics).
+        self.last_regions = 0
 
     def expand(
         self,
@@ -73,7 +77,9 @@ class TreePrefetcher:
         """
         faulted_set = set(faulted)
         extra: set[int] = set()
-        for region_base in {p - p % self.pages_per_region for p in faulted_set}:
+        regions = {p - p % self.pages_per_region for p in faulted_set}
+        self.last_regions = len(regions)
+        for region_base in regions:
             extra.update(
                 self._expand_region(region_base, faulted_set, resident, valid)
             )

@@ -97,6 +97,13 @@ class UvmRuntime:
         #: Optional :class:`repro.invariants.InvariantChecker` validated
         #: at batch boundaries; None costs one pointer test per batch.
         self.invariants = None
+        #: Optional :class:`repro.obs.analytics.RunAnalytics` receiving
+        #: one BatchObservation per batch plus per-arrival frame-wait
+        #: context; None keeps the batch path un-instrumented.
+        self.analytics = None
+        #: Per-page eviction frame wait of the open batch's migrations
+        #: (analytics only; empty otherwise).
+        self._frame_waits: dict[int, int] = {}
         #: First-fault time per in-flight page, for the fault→arrival
         #: latency histogram; populated only while ``obs`` is attached.
         self._fault_times: dict[int, int] = {}
@@ -159,6 +166,19 @@ class UvmRuntime:
         inv = self.invariants
         if inv is not None:
             inv.on_batch_begin(self.batch_stats.num_batches, self.engine.now)
+        an = self.analytics
+        if an is not None:
+            # Queue depths as the batch sees them, before the drain.
+            now0 = self.engine.now
+            depths = (
+                len(self.fault_buffer),
+                len(self._waiters),
+                sum(len(w) for w in self._waiters.values()),
+                len(self._pending_frames),
+                max(0, self.pcie.h2d.busy_until - now0),
+                max(0, self.pcie.d2h.busy_until - now0),
+            )
+            stale_before = self.stale_entries_dropped
         entries = self.fault_buffer.drain()
         pages, n_entries = self._preprocess(entries)
         if not pages:
@@ -167,7 +187,14 @@ class UvmRuntime:
             # drop-fault).  Replay faults for any page that still has
             # sleeping waiters so its warps are not stranded, then return
             # to idle; the replayed entries re-arm the interrupt path.
-            self._replay_missing_waiters()
+            replayed = self._replay_missing_waiters()
+            if an is not None:
+                an.flight.record(
+                    "empty_drain",
+                    self.engine.now,
+                    entries=n_entries,
+                    replayed=replayed,
+                )
             if not self.fault_buffer.empty and not self._interrupt_pending:
                 self._interrupt_pending = True
                 self.engine.schedule(
@@ -230,6 +257,42 @@ class UvmRuntime:
             if plan.first_migration_start is not None
             else migration_start
         )
+        if an is not None:
+            frame_waits = list(plan.frame_waits)
+            if len(frame_waits) < len(all_pages):  # custom strategies
+                frame_waits += [0] * (len(all_pages) - len(frame_waits))
+            self._frame_waits = dict(zip(all_pages, frame_waits))
+            an.begin_batch(
+                index=record.index,
+                begin_time=now,
+                entries=n_entries,
+                demand_pages=len(pages),
+                stale_entries=self.stale_entries_dropped - stale_before,
+                dup_entries=n_entries - len({e.page for e in entries}),
+                prefetched_pages=len(prefetched),
+                migrated_pages=len(all_pages),
+                evicted_pages=len(plan.evictions),
+                fault_handling_cycles=fht,
+                first_migration_time=record.first_migration_time,
+                frame_wait_cycles=sum(frame_waits),
+                eviction_busy_cycles=plan.eviction_busy_cycles(),
+                eviction_window_cycles=plan.eviction_window_cycles(),
+                eviction_occupancy=plan.eviction_occupancy(),
+                buffered_entries=depths[0],
+                waiting_pages=depths[1],
+                waiting_warps=depths[2],
+                pending_frames=depths[3],
+                h2d_backlog=depths[4],
+                d2h_backlog=depths[5],
+                free_frames=0 if self.memory.unlimited else free,
+                capacity=self.memory.capacity,
+                occupancy_pct=self.memory.occupancy_pct,
+                to_extra_blocks=(
+                    an.oversub_probe() if an.oversub_probe is not None else 0
+                ),
+                prefetch_regions=getattr(self.prefetcher, "last_regions", 0),
+                overflow_at_begin=self.fault_buffer.overflow_faults,
+            )
         # Bound-argument partials instead of per-page lambdas: cheaper to
         # build, and they expose ``.func`` so obs event accounting groups
         # every arrival/eviction under one kind.
@@ -412,6 +475,10 @@ class UvmRuntime:
                 obs.tracer.instant("uvm", "page arrival", now, page=f"{page:#x}")
         waiters = self._waiters.pop(page, None)
         if waiters:  # prefetched pages: no waiters
+            an = self.analytics
+            if an is not None:
+                # Context for the stall decomposition the wake performs.
+                an.arrival_frame_wait = self._frame_waits.get(page, 0)
             wake_warps = self.wake_warps
             if wake_warps is not None:
                 wake_warps(page, now, waiters)
@@ -454,7 +521,15 @@ class UvmRuntime:
                 evicted=record.evicted_pages,
             )
         self.on_batch_end(record)
-        self._replay_missing_waiters()
+        replayed = self._replay_missing_waiters()
+        an = self.analytics
+        if an is not None:
+            an.end_batch(
+                self.engine.now,
+                replayed=replayed,
+                overflow_now=self.fault_buffer.overflow_faults,
+            )
+            self._frame_waits = {}
         inv = self.invariants
         if inv is not None:
             inv.on_batch_end(record.index, self.engine.now)
@@ -463,12 +538,14 @@ class UvmRuntime:
         if not self.fault_buffer.empty:
             self._begin_batch()
 
-    def _replay_missing_waiters(self) -> None:
+    def _replay_missing_waiters(self) -> int:
         """Hardware fault replay: entries dropped before reaching the
         batch (buffer overflow, chaos drop-fault) are re-raised by the
         replaying MMU.  Any page that still has waiters, is not resident,
         and has no buffered entry gets a fresh entry now — otherwise its
-        warps would sleep forever."""
+        warps would sleep forever.  Returns the number of entries pushed
+        (the batch's replay count for analytics)."""
+        replayed = 0
         for page in self._waiters:
             if not self.page_table.is_resident(page) and not (
                 self.fault_buffer.contains_page(page)
@@ -476,6 +553,8 @@ class UvmRuntime:
                 self.fault_buffer.push(
                     FaultEntry(page, None, self.engine.now), replay=True
                 )
+                replayed += 1
+        return replayed
 
     # ------------------------------------------------------------------
     # Introspection (invariant checking, diagnostics)
