@@ -24,6 +24,7 @@ mode is *supposed* to pay for its data).
 from __future__ import annotations
 
 import heapq
+import pathlib
 import time
 
 from repro import GpuUvmSimulator, build_workload, obs, systems
@@ -172,6 +173,93 @@ def test_analytics_off_overhead_below_two_percent():
     )
     assert overhead < 0.02, (
         f"analytics-off guard overhead {overhead:.3%} exceeds the 2% budget"
+    )
+
+
+def _timed_tiny_sim(checkpoint_dir=None, every=1):
+    """Like :func:`timed_tiny_run` but returns the simulator too."""
+    workload = build_workload("KCORE", scale="tiny", seed=0)
+    config = systems.by_name("TO+UE").configure(workload)
+    sim = GpuUvmSimulator(workload, config)
+    if checkpoint_dir is not None:
+        sim.enable_checkpoints(checkpoint_dir, every=every)
+    start = time.perf_counter()
+    result = sim.run()
+    return time.perf_counter() - start, sim, result
+
+
+#: Pointer tests the disabled checkpoint path pays per *lifecycle
+#: transition* (not per event): the batch machine's observer slot, the
+#: observer's invariants + hook tests, and the ``complete`` compare.
+CHECKPOINT_GUARD_SITES_PER_TRANSITION = 4
+
+
+def test_checkpoint_off_overhead_below_two_percent():
+    """Checkpointing disabled must cost <2% — same budget as obs off.
+
+    With no checkpoint hook installed the engine keeps its unguarded
+    fast loop (hook selection happens once per ``run()``), so the only
+    recurring cost is the batch machine's observer forward — a handful
+    of pointer tests per *batch transition*, and transitions are three
+    orders of magnitude rarer than events.  Estimated the same way as
+    the obs guards: measured per-guard cost x sites x transitions.
+    """
+    assert obs.current() is None, "a leaked obs session would skew timing"
+
+    bare, guarded = interleaved_mins(
+        lambda: drain_storm(BareEngine()), lambda: drain_storm(HeapEngine())
+    )
+    guard_cost_per_event = max(0.0, guarded - bare) / STORM_EVENTS
+
+    off_seconds, sim, _ = min(
+        (_timed_tiny_sim() for _ in range(3)), key=lambda t: t[0]
+    )
+    transitions = sum(sim.runtime.machine.counts.values()) + sum(
+        sim.engine.lifecycle.counts.values()
+    )
+    events = sim.engine.events_processed
+    estimated = (
+        guard_cost_per_event * CHECKPOINT_GUARD_SITES_PER_TRANSITION
+        * transitions
+    )
+    overhead = estimated / off_seconds
+
+    print(
+        f"\ncheckpoint off: {transitions:,} lifecycle transitions over "
+        f"{events:,} events ({transitions / events:.4%} of events), "
+        f"estimated overhead {overhead:.4%} "
+        f"({CHECKPOINT_GUARD_SITES_PER_TRANSITION} guards/transition)"
+    )
+    assert overhead < 0.02, (
+        f"checkpoint-off overhead {overhead:.3%} exceeds the 2% budget"
+    )
+
+
+def test_checkpoint_write_restore_latency_informational(tmp_path):
+    """Measure (and print) checkpoint write/restore latency — no
+    threshold, but the resumed run must stay bit-identical."""
+    from repro.checkpoint import restore_checkpoint
+
+    off_seconds, _, baseline = _timed_tiny_sim()
+    on_seconds, sim, result = _timed_tiny_sim(tmp_path, every=1)
+    assert result == baseline, "checkpointing changed the simulation"
+    assert sim.checkpoint_writes > 0
+
+    per_write = sim.checkpoint_write_seconds / sim.checkpoint_writes
+    size = pathlib.Path(sim.last_checkpoint_path).stat().st_size
+
+    start = time.perf_counter()
+    restored = restore_checkpoint(sim.last_checkpoint_path)
+    restore_seconds = time.perf_counter() - start
+    resumed = restored.resume()
+    assert resumed == baseline, "restored run diverged"
+
+    print(
+        f"\ncheckpointing every batch: {sim.checkpoint_writes} writes, "
+        f"{per_write * 1e3:.2f} ms/write ({size / 1024:.0f} KiB file), "
+        f"restore {restore_seconds * 1e3:.2f} ms; "
+        f"run {on_seconds * 1e3:.0f} ms vs off {off_seconds * 1e3:.0f} ms "
+        f"({on_seconds / off_seconds:.2f}x with every-batch writes)"
     )
 
 

@@ -23,6 +23,7 @@ ETC classifies applications and applies three techniques:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Sequence
 
 from repro.core.batching import BatchRecord
@@ -138,6 +139,6 @@ class EtcController:
             _, finish = self.runtime.pcie.evict_page(self.engine.now)
             self.runtime.on_evict(victim)
             self.engine.schedule_at(
-                finish, lambda f=frame: memory.release_frame(f)
+                finish, partial(memory.release_frame, frame)
             )
             self._proactive_evictions += 1

@@ -12,6 +12,13 @@ observability layer for that single run:
 * ``--report`` — the ``repro.obs.report`` text summary on stdout.
 * ``--obs off|light|full`` — instrumentation level (default ``full``;
   ``off`` runs the exact un-instrumented hot path).
+* ``--checkpoint-dir DIR`` — write resumable whole-simulation
+  checkpoints at batch boundaries (every ``--checkpoint-every`` batches,
+  and when ``--wall-budget`` stalls the run); ``--resume`` continues a
+  previous invocation from its checkpoint, bit-identical to an
+  uninterrupted run.
+* ``--result-out PATH`` — dump the full ``SimulationResult`` as JSON
+  (the CI kill-and-resume job diffs these across interruptions).
 
 Example::
 
@@ -24,6 +31,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import asdict
+from pathlib import Path
 
 from repro import obs as obs_mod
 from repro import systems
@@ -175,14 +184,62 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="abort with a stall diagnosis if the run exceeds this wall time",
+        help=(
+            "abort with a stall diagnosis if the run exceeds this wall "
+            "time (with --checkpoint-dir the aborted run checkpoints "
+            "first, so --resume can continue it)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write resumable whole-simulation checkpoints into DIR at "
+            "batch boundaries and on watchdog stalls (repro.checkpoint)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N completed batches (default: 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue from the checkpoint a previous invocation left in "
+            "--checkpoint-dir (falls back to a fresh run if the file is "
+            "missing or unusable)"
+        ),
+    )
+    parser.add_argument(
+        "--result-out",
+        metavar="PATH",
+        help="write the SimulationResult as JSON",
     )
     return parser
+
+
+def _checkpoint_basename(args: argparse.Namespace) -> str:
+    """Stable per-invocation checkpoint name: the same (workload, scale,
+    system, seed) resumes its own file and nothing else's."""
+    return (
+        f"{args.workload.upper()}-{args.scale}-{args.system.upper()}"
+        f"-s{args.seed}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.checkpoint_every <= 0:
+        parser.error("--checkpoint-every must be positive")
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
 
     analytics = bool(
         args.analytics
@@ -222,17 +279,76 @@ def main(argv: list[str] | None = None) -> int:
     )
     timeline = Timeline() if args.timeline else None
 
+    checkpoint_file = None
+    if args.checkpoint_dir:
+        checkpoint_file = (
+            Path(args.checkpoint_dir) / f"{_checkpoint_basename(args)}.ckpt"
+        )
+
+    sim = None
+    resumed = False
+    if args.resume and checkpoint_file is not None and checkpoint_file.exists():
+        from repro.checkpoint import try_load
+
+        checkpoint = try_load(checkpoint_file)
+        if checkpoint is not None:
+            sim = checkpoint.restore()
+            resumed = True
+            # The restored simulator carries its original instrumentation
+            # (pickled with it); report from that, not this invocation's.
+            obs = sim.obs
+            timeline = sim.timeline
+            print(
+                f"resuming {checkpoint_file} "
+                f"(cycle {sim.engine.now:,}, "
+                f"batch {sim.runtime.batch_stats.num_batches})"
+            )
+    if sim is None:
+        sim = GpuUvmSimulator(workload, config, timeline=timeline, obs=obs)
+    if checkpoint_file is not None:
+        sim.enable_checkpoints(
+            args.checkpoint_dir,
+            every=args.checkpoint_every,
+            basename=checkpoint_file.stem,
+        )
+
     try:
-        result = GpuUvmSimulator(
-            workload, config, timeline=timeline, obs=obs
-        ).run(max_events=args.max_events, wall_budget_seconds=args.wall_budget)
+        if resumed:
+            result = sim.resume(
+                max_events=args.max_events,
+                wall_budget_seconds=args.wall_budget,
+            )
+        else:
+            result = sim.run(
+                max_events=args.max_events,
+                wall_budget_seconds=args.wall_budget,
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        saved = getattr(exc, "checkpoint_path", None)
+        if saved:
+            print(
+                f"checkpoint: {saved} (rerun with --resume to continue)",
+                file=sys.stderr,
+            )
         dump = getattr(exc, "flight_recorder", None)
         if dump is not None and args.flight_out:
             path = obs_mod.write_flight_dump(dump, args.flight_out)
             print(f"flight recorder: {len(dump['events'])} events -> {path}")
         return 1
+
+    if checkpoint_file is not None:
+        # The run completed: a leftover mid-run checkpoint must not be
+        # resumed by a later invocation.
+        try:
+            checkpoint_file.unlink()
+        except OSError:
+            pass
+    if args.result_out:
+        with open(args.result_out, "w") as fh:
+            json.dump(asdict(result), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"result: -> {args.result_out}")
 
     print(result.summary())
     if config.chaos is not None:

@@ -22,6 +22,10 @@ from repro.sim.engine import Engine
 from repro.uvm.memory_manager import GpuMemoryManager
 
 
+def _ignore_sample(dropped: bool) -> None:
+    """Default ``on_sample`` hook (module-level so monitors pickle)."""
+
+
 class PageLifetimeMonitor:
     """Periodic running-average lifetime estimator."""
 
@@ -53,7 +57,7 @@ class PageLifetimeMonitor:
 
         #: Called with ``True`` when lifetimes dropped past the threshold
         #: (premature evictions rising), ``False`` on a healthy window.
-        self.on_sample: Callable[[bool], None] = lambda dropped: None
+        self.on_sample: Callable[[bool], None] = _ignore_sample
 
     def start(self) -> None:
         """Begin periodic sampling (idempotent)."""

@@ -19,6 +19,10 @@ from repro.errors import ConfigError
 from repro.gpu.config import ToConfig
 
 
+def _noop_grow() -> None:
+    """Default ``on_grow`` hook (module-level so controllers pickle)."""
+
+
 class ThreadOversubscriptionController:
     """Adaptive degree-of-oversubscription controller."""
 
@@ -38,7 +42,7 @@ class ThreadOversubscriptionController:
 
         #: Called when ``extra_blocks_allowed`` grows, so the dispatcher
         #: can hand each SM another inactive block.
-        self.on_grow = lambda: None
+        self.on_grow = _noop_grow
 
     # ------------------------------------------------------------------
     @property

@@ -65,6 +65,33 @@ class InvariantViolation(SimulationError):
     """
 
 
+class IllegalTransition(SimulationError):
+    """A lifecycle state machine was asked to make an undeclared move.
+
+    Raised by :class:`repro.lifecycle.StateMachine` (and the warp-model
+    :class:`~repro.lifecycle.TransitionValidator`) when an event has no
+    declared transition out of the current state, or its guard refused.
+    ``context`` carries the machine's full state snapshot — name, current
+    state, the offending event, and per-event transition counts — plus
+    whatever witnesses the caller supplied.
+    """
+
+    def __init__(self, message: str = "", **context) -> None:
+        super().__init__(message, **context)
+        #: Structured machine snapshot (also folded into the message).
+        self.machine_snapshot = context.get("snapshot")
+
+
+class CheckpointError(SimulationError):
+    """A simulation checkpoint could not be written, read, or applied.
+
+    Raised by :mod:`repro.checkpoint` for corrupt/truncated files (which
+    are quarantined aside as ``*.ckpt.corrupt``), schema-version skew, and
+    source-fingerprint mismatches; ``context`` names the file and the
+    versions involved.
+    """
+
+
 class SimulationStalledError(SimulationError):
     """The engine stopped making progress (see :class:`repro.invariants.Watchdog`).
 
@@ -119,6 +146,9 @@ class CellFailure(ReproError):
         #: Flight-recorder dump attached by the harness when the failing
         #: run had batch analytics enabled (see repro.obs.analytics).
         self.flight_recorder: dict | None = None
+        #: Path of the checkpoint a stalled run managed to write before
+        #: failing for good (see repro.checkpoint) — resumable by hand.
+        self.checkpoint_path: str | None = None
 
     def summary(self) -> str:
         """One-line digest for sweep reports."""
@@ -139,4 +169,6 @@ class CellFailure(ReproError):
         }
         if getattr(self, "flight_recorder", None) is not None:
             record["flight_recorder"] = self.flight_recorder
+        if getattr(self, "checkpoint_path", None) is not None:
+            record["checkpoint_path"] = self.checkpoint_path
         return record

@@ -36,7 +36,7 @@ from functools import lru_cache
 from typing import Sequence
 
 from repro.chaos.config import ChaosConfig
-from repro.errors import CellFailure, ReproError
+from repro.errors import CellFailure, ReproError, SimulationStalledError
 from repro.gpu.config import SimConfig
 from repro.obs import current as _obs_current
 from repro.simulator import GpuUvmSimulator, SimulationResult
@@ -162,6 +162,16 @@ class RunSpec:
     #: watchdog.  Deliberately *not* part of the cache key: a timeout
     #: never produces a cacheable result.
     wall_budget_seconds: float | None = None
+    #: Whole-simulation checkpointing (:mod:`repro.checkpoint`): write a
+    #: resumable snapshot every ``checkpoint_every`` batches into
+    #: ``checkpoint_dir``; with ``resume`` the cell first looks for its
+    #: checkpoint file and continues from it.  None of these participate
+    #: in the cache key — a resumed run is bit-identical to a fresh one,
+    #: and checkpointing never changes *what* is computed, only whether a
+    #: stalled cell's progress survives.
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
 
     def resolved(self) -> "RunSpec":
         """Canonicalise so equal runs always produce equal cache keys:
@@ -180,12 +190,21 @@ class RunSpec:
             spec = replace(spec, check_invariants=True)
         if spec.wall_budget_seconds is None and _CELL_TIMEOUT is not None:
             spec = replace(spec, wall_budget_seconds=_CELL_TIMEOUT)
+        if spec.checkpoint_dir is None and _CHECKPOINT_DIR is not None:
+            spec = replace(
+                spec,
+                checkpoint_dir=_CHECKPOINT_DIR,
+                checkpoint_every=_CHECKPOINT_EVERY,
+                resume=_CHECKPOINT_RESUME,
+            )
         return spec
 
 
 def _memo_key(spec: RunSpec) -> tuple:
     """In-process cache key (matches the legacy ``_RUN_CACHE`` key plus
-    ``max_events`` — a capped partial run must never satisfy a full one)."""
+    ``max_events`` — a capped partial run must never satisfy a full one).
+    Checkpoint fields are deliberately absent: resumed and uninterrupted
+    runs produce identical results, so they share a cache entry."""
     robustness = (spec.chaos, spec.check_invariants)
     if spec.config is not None:
         config_hash = hashlib.sha256(
@@ -225,6 +244,11 @@ _DEFAULT_CHAOS: ChaosConfig | None = None
 _DEFAULT_INVARIANTS = False
 #: Per-cell wall-clock budget in seconds (None: unbounded).
 _CELL_TIMEOUT: float | None = None
+#: Checkpoint policy applied to every cell whose spec doesn't carry its
+#: own (see :func:`set_checkpoint_policy`).
+_CHECKPOINT_DIR: str | None = None
+_CHECKPOINT_EVERY = 1
+_CHECKPOINT_RESUME = False
 #: How many times a cell is re-run after a *transient* failure, and the
 #: base of the exponential backoff between attempts.
 _MAX_RETRIES = 1
@@ -288,6 +312,30 @@ def set_cell_timeout(seconds: float | None) -> None:
     if seconds is not None and seconds <= 0:
         raise ValueError("cell timeout must be positive (or None)")
     _CELL_TIMEOUT = seconds
+
+
+def set_checkpoint_policy(
+    directory: str | pathlib.Path | None,
+    every: int = 1,
+    resume: bool = False,
+) -> None:
+    """Checkpoint every cell into ``directory`` every ``every`` batches.
+
+    With ``resume``, a cell whose checkpoint file already exists continues
+    from it instead of starting over — the mechanism behind resumable
+    sweeps (a killed/stalled sweep rerun with ``--resume`` picks up every
+    in-flight cell from its last batch boundary).  ``None`` disables
+    checkpointing entirely.
+    """
+    global _CHECKPOINT_DIR, _CHECKPOINT_EVERY, _CHECKPOINT_RESUME
+    if directory is None:
+        _CHECKPOINT_DIR, _CHECKPOINT_EVERY, _CHECKPOINT_RESUME = None, 1, False
+        return
+    if every <= 0:
+        raise ValueError("checkpoint interval must be positive")
+    _CHECKPOINT_DIR = str(directory)
+    _CHECKPOINT_EVERY = int(every)
+    _CHECKPOINT_RESUME = bool(resume)
 
 
 def set_retry_policy(retries: int, backoff: float = 0.25) -> None:
@@ -490,13 +538,57 @@ def _cell_label(spec: RunSpec) -> str:
     return f"{spec.workload}/{system}@{spec.scale}"
 
 
+def _checkpoint_file(spec: RunSpec) -> pathlib.Path:
+    """The cell's stable checkpoint path: keyed by the memo key (which
+    excludes the checkpoint fields themselves), so the fresh run, the
+    stall handler, and every resume attempt all agree on one file."""
+    digest = hashlib.sha256(repr(_memo_key(spec)).encode()).hexdigest()[:24]
+    return pathlib.Path(spec.checkpoint_dir) / f"{spec.workload}-{digest}.ckpt"
+
+
+def _discard_checkpoint(path: pathlib.Path) -> None:
+    """Remove a cell's checkpoint after it completes (best-effort): a
+    finished cell must never be resumed from a stale mid-run snapshot."""
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
 def _simulate_spec(spec: RunSpec) -> SimulationResult:
     """Execute one cell from scratch.  Runs in worker processes too, so it
     must stay a module-level function of picklable arguments.
 
     The wall-clock budget rides inside the simulation (an engine
     watchdog), so per-cell timeouts work identically in the serial path
-    and in forked workers — no executor-level cancellation needed."""
+    and in forked workers — no executor-level cancellation needed.
+
+    With a checkpoint directory set, the cell writes resumable snapshots
+    at batch boundaries (and when the watchdog stalls it); with
+    ``spec.resume``, an existing usable checkpoint short-circuits the
+    fresh build and the run continues from its last batch boundary —
+    bit-identical to the uninterrupted run.  Unusable checkpoints
+    (truncated, version-skewed) degrade to a fresh run with a warning."""
+    checkpoint_file: pathlib.Path | None = None
+    if spec.checkpoint_dir is not None:
+        checkpoint_file = _checkpoint_file(spec)
+        if spec.resume and checkpoint_file.exists():
+            from repro.checkpoint import try_load
+
+            checkpoint = try_load(checkpoint_file)
+            if checkpoint is not None:
+                sim = checkpoint.restore()
+                sim.enable_checkpoints(
+                    spec.checkpoint_dir,
+                    every=spec.checkpoint_every,
+                    basename=checkpoint_file.stem,
+                )
+                result = sim.resume(
+                    max_events=spec.max_events,
+                    wall_budget_seconds=spec.wall_budget_seconds,
+                )
+                _discard_checkpoint(checkpoint_file)
+                return result
     workload = _workload_cached(spec.workload, spec.scale, spec.seed)
     if spec.config is not None:
         config = spec.config
@@ -517,10 +609,20 @@ def _simulate_spec(spec: RunSpec) -> SimulationResult:
             chaos=spec.chaos,
             check_invariants=spec.check_invariants,
         )
-    return GpuUvmSimulator(workload, config).run(
+    sim = GpuUvmSimulator(workload, config)
+    if checkpoint_file is not None:
+        sim.enable_checkpoints(
+            spec.checkpoint_dir,
+            every=spec.checkpoint_every,
+            basename=checkpoint_file.stem,
+        )
+    result = sim.run(
         max_events=spec.max_events,
         wall_budget_seconds=spec.wall_budget_seconds,
     )
+    if checkpoint_file is not None:
+        _discard_checkpoint(checkpoint_file)
+    return result
 
 
 def _record_failure(
@@ -542,8 +644,11 @@ def _record_failure(
     )
     # The simulator attaches a flight-recorder dump (recent batches +
     # engine events) to the exception when analytics is on; carry it so
-    # the runner's failure snapshot includes the forensics.
+    # the runner's failure snapshot includes the forensics.  A stall that
+    # managed to checkpoint also names the file, so the operator can
+    # resume the cell by hand even after the retry budget ran out.
     failure.flight_recorder = getattr(exc, "flight_recorder", None)
+    failure.checkpoint_path = getattr(exc, "checkpoint_path", None)
     if _ON_ERROR != "keep-going":
         raise failure from exc
     FAILURES.append(failure)
@@ -558,6 +663,17 @@ def _record_failure(
     return failure
 
 
+def _resumable_stall(exc: BaseException | None, spec: RunSpec) -> bool:
+    """A watchdog stall that left a checkpoint behind is worth retrying:
+    the retry resumes from the checkpoint instead of starting over, so
+    each attempt makes forward progress even under a tight budget."""
+    return (
+        isinstance(exc, SimulationStalledError)
+        and spec.checkpoint_dir is not None
+        and getattr(exc, "checkpoint_path", None) is not None
+    )
+
+
 def _run_one(
     spec: RunSpec, prior: BaseException | None = None
 ) -> SimulationResult | CellFailure:
@@ -567,16 +683,20 @@ def _run_one(
     process): it counts as the first attempt, so the bounded-retry budget
     is shared between the parallel and serial paths.  Transient
     infrastructure errors retry with exponential backoff; deterministic
-    simulator errors fail immediately (re-running would reproduce them);
-    anything outside the taxonomy propagates — it is a bug, not a cell
-    failure.
+    simulator errors fail immediately (re-running would reproduce them) —
+    except a checkpointed stall, which retries *resuming* from the
+    checkpoint; anything outside the taxonomy propagates — it is a bug,
+    not a cell failure.
     """
     attempts = 0
     last = prior
     if last is not None:
         attempts = 1
+        if _resumable_stall(last, spec):
+            spec = replace(spec, resume=True)
     while last is None or (
-        isinstance(last, _TRANSIENT_ERRORS) and attempts <= _MAX_RETRIES
+        (isinstance(last, _TRANSIENT_ERRORS) or _resumable_stall(last, spec))
+        and attempts <= _MAX_RETRIES
     ):
         if last is not None and _RETRY_BACKOFF:
             _time.sleep(_RETRY_BACKOFF * (2 ** (attempts - 1)))
@@ -585,6 +705,8 @@ def _run_one(
             return _simulate_spec(spec)
         except (ReproError, *_TRANSIENT_ERRORS) as exc:
             last = exc
+            if _resumable_stall(exc, spec) and not spec.resume:
+                spec = replace(spec, resume=True)
     return _record_failure(spec, last, attempts)
 
 

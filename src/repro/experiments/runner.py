@@ -247,7 +247,36 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="re-run transiently failing cells up to N times (default: 1)",
+        help=(
+            "re-run transiently failing cells up to N times (default: 1); "
+            "with --checkpoint-dir, cells stalled by --cell-timeout retry "
+            "by *resuming* their checkpoint instead of starting over"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write resumable whole-simulation checkpoints for every cell "
+            "into DIR at batch boundaries and on stalls (repro.checkpoint)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N completed batches (default: 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume cells from checkpoints a previous (killed or stalled) "
+            "sweep left in --checkpoint-dir; cells without a usable "
+            "checkpoint run fresh"
+        ),
     )
     parser.add_argument(
         "--keep-going",
@@ -294,6 +323,17 @@ def main(argv: list[str] | None = None) -> int:
         common.set_cell_timeout(args.cell_timeout)
     if args.retries is not None:
         common.set_retry_policy(args.retries)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.checkpoint_dir:
+        try:
+            common.set_checkpoint_policy(
+                args.checkpoint_dir,
+                every=args.checkpoint_every,
+                resume=args.resume,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
     keep_going = args.keep_going or args.failure_dir is not None
     if keep_going:
         common.set_on_error("keep-going")

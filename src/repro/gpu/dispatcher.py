@@ -16,6 +16,15 @@ from repro.gpu.sm import StreamingMultiprocessor
 from repro.gpu.thread_block import ThreadBlock
 
 
+def _no_extra_blocks() -> int:
+    """Default TO allowance (module-level so dispatchers pickle)."""
+    return 0
+
+
+def _noop() -> None:
+    """Default kernel-done hook (module-level so dispatchers pickle)."""
+
+
 class Dispatcher:
     """Round-robin block dispatcher for one kernel launch."""
 
@@ -23,8 +32,8 @@ class Dispatcher:
         self,
         sms: Sequence[StreamingMultiprocessor],
         blocks: Sequence[ThreadBlock],
-        extra_blocks_allowed: Callable[[], int] = lambda: 0,
-        on_kernel_done: Callable[[], None] = lambda: None,
+        extra_blocks_allowed: Callable[[], int] = _no_extra_blocks,
+        on_kernel_done: Callable[[], None] = _noop,
     ) -> None:
         self.sms = list(sms)
         self.pending: deque[ThreadBlock] = deque(blocks)

@@ -24,6 +24,44 @@ from repro.gpu.warp import Warp, WarpState
 from repro.sim.engine import Engine
 
 
+def _always_allowed() -> bool:
+    """Default ``switch_allowed`` hook (module-level: checkpoints pickle
+    the SM, so defaults cannot be lambdas)."""
+    return True
+
+
+class _FinishSwitchEvent:
+    """Interned swap-in completion event (was a per-switch closure).
+
+    ``kind`` keeps the pre-refactor closure qualname so full-mode obs
+    event labels are unchanged.
+    """
+
+    __slots__ = ("_sm", "_block")
+    kind = "StreamingMultiprocessor.try_context_switch.<locals>.finish_switch"
+
+    def __init__(self, sm: "StreamingMultiprocessor", block: ThreadBlock) -> None:
+        self._sm = sm
+        self._block = block
+
+    def __call__(self) -> None:
+        self._sm._finish_switch(self._block)
+
+
+class _FillSlotEvent:
+    """Interned slot-fill completion event (was a per-fill closure)."""
+
+    __slots__ = ("_sm", "_block")
+    kind = "StreamingMultiprocessor.on_block_ready.<locals>.fill_slot"
+
+    def __init__(self, sm: "StreamingMultiprocessor", block: ThreadBlock) -> None:
+        self._sm = sm
+        self._block = block
+
+    def __call__(self) -> None:
+        self._sm._fill_slot(self._block)
+
+
 class StreamingMultiprocessor:
     """Block-slot management for one SM."""
 
@@ -35,7 +73,7 @@ class StreamingMultiprocessor:
         context_cost: ContextCostModel,
         kernel_resources: KernelResources,
         schedule_warp: Callable[[Warp, int], None],
-        switch_allowed: Callable[[], bool] = lambda: True,
+        switch_allowed: Callable[[], bool] = _always_allowed,
         forced_oversubscription: bool = False,
     ) -> None:
         self.sm_id = sm_id
@@ -147,12 +185,13 @@ class StreamingMultiprocessor:
                 cost=cost,
             )
 
-        def finish_switch() -> None:
-            self._switching -= 1
-            self._activate(incoming, charge_restore=False)  # cost already paid
-
-        self.engine.schedule(cost, finish_switch)
+        self.engine.schedule(cost, _FinishSwitchEvent(self, incoming))
         return True
+
+    def _finish_switch(self, incoming: ThreadBlock) -> None:
+        """Swap-in completion: activate (cost already paid)."""
+        self._switching -= 1
+        self._activate(incoming, charge_restore=False)
 
     def on_warp_stalled(self, warp: Warp) -> None:
         """A warp stalled on page faults; switch its block if fully stalled."""
@@ -184,16 +223,17 @@ class StreamingMultiprocessor:
                 else 0
             )
 
-            def fill_slot() -> None:
-                self._switching -= 1
-                self._activate(block, charge_restore=False)
-
-            self.engine.schedule(cost, fill_slot)
+            self.engine.schedule(cost, _FillSlotEvent(self, block))
             return
         for active in self.active_blocks:
             if active.fully_stalled():
                 self.try_context_switch(active)
                 return
+
+    def _fill_slot(self, block: ThreadBlock) -> None:
+        """Slot-fill completion: activate (restore cost already paid)."""
+        self._switching -= 1
+        self._activate(block, charge_restore=False)
 
     # ------------------------------------------------------------------
     # Completion

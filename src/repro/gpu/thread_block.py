@@ -98,6 +98,9 @@ class ThreadBlock:
         suspended = []
         for warp in self.warps:
             if warp.state is WarpState.READY:
+                validator = warp.validator
+                if validator is not None:
+                    validator.check("suspend", "ready", warp=warp.warp_id)
                 warp.state = WarpState.SUSPENDED
                 suspended.append(warp)
         return suspended
@@ -107,6 +110,9 @@ class ThreadBlock:
         resumed = []
         for warp in self.warps:
             if warp.state is WarpState.SUSPENDED:
+                validator = warp.validator
+                if validator is not None:
+                    validator.check("resume", "suspended", warp=warp.warp_id)
                 warp.state = WarpState.READY
                 resumed.append(warp)
         return resumed

@@ -15,6 +15,7 @@ import enum
 from typing import Iterable, Sequence
 
 from repro.gpu.config import LINE_SIZE
+from repro.lifecycle import WARP_LIFECYCLE
 
 
 class WarpState(enum.Enum):
@@ -23,6 +24,11 @@ class WarpState(enum.Enum):
     STALLED = "stalled"      # waiting on one or more page faults
     SUSPENDED = "suspended"  # block context-switched out (TO)
     FINISHED = "finished"
+
+
+# The declared machine is the single source of truth for warp states;
+# this enum (and the SoA store's integer codes) must mirror it exactly.
+assert tuple(s.value for s in WarpState) == WARP_LIFECYCLE.states
 
 
 class WarpOp:
@@ -145,6 +151,7 @@ class Warp:
         "replay_pending",
         "exec_event",
         "complete_event",
+        "validator",
     )
 
     def __init__(self, warp_id: int, ops: Sequence[WarpOp], block=None) -> None:
@@ -171,6 +178,10 @@ class Warp:
         #: analytics layer charge the re-issued op's cycles to the
         #: ``replay`` bucket.  Only written when analytics is enabled.
         self.replay_pending = False
+        #: Shared :class:`repro.lifecycle.TransitionValidator`; installed
+        #: only under ``check_invariants`` so the hot path pays one
+        #: ``is None`` test.
+        self.validator = None
 
     # ------------------------------------------------------------------
     @property
@@ -197,6 +208,15 @@ class Warp:
         latencies merge by ``max``: the replays overlap, so the warp owes
         the longest one, not their sum.
         """
+        validator = self.validator
+        if validator is not None:
+            already = self.state is WarpState.STALLED
+            validator.check(
+                "restall" if already else "stall",
+                self.state.value,
+                warp=self.warp_id,
+                now=now,
+            )
         self.waiting_pages.update(pages)
         if self.state is WarpState.STALLED:
             self.resume_latency = max(self.resume_latency, replay_latency)
@@ -211,6 +231,9 @@ class Warp:
         if self.waiting_pages:
             return False
         if self.state is WarpState.STALLED:
+            validator = self.validator
+            if validator is not None:
+                validator.check("wake", "stalled", warp=self.warp_id, now=now)
             self.stalled_cycles += now - self.stall_start
             self.state = WarpState.READY
             return True
@@ -219,7 +242,16 @@ class Warp:
     def advance(self) -> None:
         """Retire the current op and move to the next."""
         self.pc += 1
-        if self.pc >= len(self.ops):
+        done = self.pc >= len(self.ops)
+        validator = self.validator
+        if validator is not None:
+            validator.check(
+                "finish" if done else "retire",
+                self.state.value,
+                warp=self.warp_id,
+                pc=self.pc,
+            )
+        if done:
             self.state = WarpState.FINISHED
         else:
             self.state = WarpState.READY

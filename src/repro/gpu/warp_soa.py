@@ -49,23 +49,23 @@ from typing import Iterable, Sequence
 
 from repro.gpu.thread_block import BlockState, ThreadBlock
 from repro.gpu.warp import WarpOp, WarpState
+from repro.lifecycle import WARP_LIFECYCLE
 
-# Integer encoding of WarpState for the ``state`` array.  Values are
-# load-bearing only through the two mapping tables below.
-READY = 0
-RUNNING = 1
-STALLED = 2
-SUSPENDED = 3
-FINISHED = 4
+# Integer encoding of WarpState for the ``state`` array: the index of
+# each state in the declared machine, so the spec is the single source
+# of truth for both backends.  Values are load-bearing only through the
+# mapping tables below.
+_CODE_OF = {name: code for code, name in enumerate(WARP_LIFECYCLE.states)}
+READY = _CODE_OF["ready"]
+RUNNING = _CODE_OF["running"]
+STALLED = _CODE_OF["stalled"]
+SUSPENDED = _CODE_OF["suspended"]
+FINISHED = _CODE_OF["finished"]
 
-_STATE_TO_CODE = {
-    WarpState.READY: READY,
-    WarpState.RUNNING: RUNNING,
-    WarpState.STALLED: STALLED,
-    WarpState.SUSPENDED: SUSPENDED,
-    WarpState.FINISHED: FINISHED,
-}
+_STATE_TO_CODE = {state: _CODE_OF[state.value] for state in WarpState}
 _CODE_TO_STATE = {code: state for state, code in _STATE_TO_CODE.items()}
+#: Code → declared state name (index-aligned with the spec's states).
+_CODE_TO_NAME = WARP_LIFECYCLE.states
 
 
 def derive_ops(
@@ -109,6 +109,7 @@ class WarpStore:
         "waiting_pages",
         "warps",
         "ops",
+        "validator",
     )
 
     def __init__(self, n: int) -> None:
@@ -137,6 +138,11 @@ class WarpStore:
         self.warps: list[SoAWarp] = []
         #: Original WarpOp traces (runahead probing reads them).
         self.ops: list[Sequence[WarpOp]] = [()] * n
+        #: Shared :class:`repro.lifecycle.TransitionValidator`; installed
+        #: only under ``check_invariants`` (one ``is None`` test on the
+        #: handle paths; the inlined array loops stay untouched and are
+        #: covered transitively by the equivalence locks).
+        self.validator = None
 
     def add_warp(
         self,
@@ -257,6 +263,15 @@ class SoAWarp:
         preserved ``stall_start`` when the warp is already stalled."""
         store = self.store
         i = self.index
+        validator = store.validator
+        if validator is not None:
+            code = store.state[i]
+            validator.check(
+                "restall" if code == STALLED else "stall",
+                _CODE_TO_NAME[code],
+                warp=self.warp_id,
+                now=now,
+            )
         waiting = store.waiting_pages[i]
         waiting.update(pages)
         store.waiting_count[i] = len(waiting)
@@ -279,6 +294,9 @@ class SoAWarp:
         if count:
             return False
         if store.state[i] == STALLED:
+            validator = store.validator
+            if validator is not None:
+                validator.check("wake", "stalled", warp=self.warp_id, now=now)
             store.stalled_cycles[i] += now - store.stall_start[i]
             store.state[i] = READY
             return True
@@ -288,8 +306,17 @@ class SoAWarp:
         store = self.store
         i = self.index
         pc = store.pc[i] + 1
+        done = pc >= store.n_ops[i]
+        validator = store.validator
+        if validator is not None:
+            validator.check(
+                "finish" if done else "retire",
+                _CODE_TO_NAME[store.state[i]],
+                warp=self.warp_id,
+                pc=pc,
+            )
         store.pc[i] = pc
-        store.state[i] = FINISHED if pc >= store.n_ops[i] else READY
+        store.state[i] = FINISHED if done else READY
 
     def __repr__(self) -> str:
         return (
@@ -358,9 +385,12 @@ class SoAThreadBlock(ThreadBlock):
         store = self.store
         state = store.state
         warps = store.warps
+        validator = store.validator
         picked: list[SoAWarp] = []
         for i in range(self.lo, self.hi):
             if state[i] == READY:
+                if validator is not None:
+                    validator.check("suspend", "ready", warp=warps[i].warp_id)
                 state[i] = SUSPENDED
                 picked.append(warps[i])
         return picked
@@ -369,9 +399,12 @@ class SoAThreadBlock(ThreadBlock):
         store = self.store
         state = store.state
         warps = store.warps
+        validator = store.validator
         picked: list[SoAWarp] = []
         for i in range(self.lo, self.hi):
             if state[i] == SUSPENDED:
+                if validator is not None:
+                    validator.check("resume", "suspended", warp=warps[i].warp_id)
                 state[i] = READY
                 picked.append(warps[i])
         return picked

@@ -57,6 +57,10 @@ class InvariantChecker:
         self.runtime = runtime
         self.checks_run = 0
         self.batches_checked = 0
+        #: Per-machine, per-event counts of every declared transition the
+        #: lifecycle layer reported (see :mod:`repro.lifecycle`).
+        self.transition_counts: dict[str, dict[str, int]] = {}
+        self.transitions_observed = 0
 
     # ------------------------------------------------------------------
     # Hook entry points
@@ -70,6 +74,17 @@ class InvariantChecker:
 
     def on_quiescence(self, now: int) -> None:
         self.check(where=f"quiescence @ {now}", quiescent=True)
+
+    def on_transition(
+        self, machine: str, event: str, source: str, target: str
+    ) -> None:
+        """Transition-level hook: wired as the ``observer`` of every
+        lifecycle machine when invariant checking is on.  Illegality is
+        already enforced by the machines themselves (undeclared moves
+        raise before this hook runs), so this only has to account."""
+        self.transitions_observed += 1
+        counts = self.transition_counts.setdefault(machine, {})
+        counts[event] = counts.get(event, 0) + 1
 
     # ------------------------------------------------------------------
     # The checks

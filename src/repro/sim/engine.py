@@ -38,6 +38,7 @@ import heapq
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.lifecycle import ENGINE_LOOP, StateMachine
 
 Callback = Callable[[], None]
 
@@ -98,7 +99,11 @@ class Engine:
         self._horizon = near_window  # == now + near_window
         self._pending = 0
         self._events_processed = 0
-        self._running = False
+        #: Declared run-loop lifecycle (idle → running → idle/failed);
+        #: replaces the old ``_running`` boolean latch.  ``start`` is
+        #: declared from ``failed`` too, so the harness can retry a cell
+        #: on the same engine after an exception.
+        self.lifecycle = StateMachine(ENGINE_LOOP, owner=self)
         #: Optional :class:`repro.obs.Observability` session.  None (the
         #: default) keeps the event loop un-instrumented: run() selects
         #: the fast loop and the hot path pays nothing.
@@ -109,6 +114,14 @@ class Engine:
         #: a stalled run raises
         #: :class:`~repro.errors.SimulationStalledError`.
         self.watchdog = None
+        #: Checkpoint plumbing (see :mod:`repro.checkpoint`): when a
+        #: batch-boundary trigger sets ``checkpoint_due``, the guarded
+        #: loop calls ``checkpoint_hook()`` *between* events — the only
+        #: points where the queue counters are guaranteed published.
+        #: Both stay None/False unless checkpointing is enabled, so the
+        #: fast loop is still selected and the off path pays nothing.
+        self.checkpoint_hook: Callback | None = None
+        self.checkpoint_due = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -329,23 +342,34 @@ class Engine:
         original per-event semantics (obs dispatch counts, watchdog
         ticks).
 
-        The reentrancy latch is cleared in a ``finally`` even when an
-        event handler (or the watchdog) raises, so the engine instance —
-        and the harness retrying a failed cell on it — stays usable after
-        an exception.
+        Reentrancy and failure are lifecycle transitions: a nested call
+        fires ``start`` while already ``running`` — an undeclared move,
+        so it raises :class:`~repro.errors.IllegalTransition` (a
+        :class:`SimulationError`) carrying the machine snapshot.  An
+        event handler (or the watchdog) raising moves the machine to
+        ``failed``, from which ``start`` is declared — so the engine
+        instance, and the harness retrying a failed cell on it, stays
+        usable after an exception.
         """
-        if self._running:
-            raise SimulationError("engine.run() is not reentrant")
-        self._running = True
+        lifecycle = self.lifecycle
+        lifecycle.fire(
+            "start", reason="engine.run() is not reentrant", now=self.now
+        )
         start_time = self.now
         obs = self.obs
         try:
-            if obs is None and self.watchdog is None:
+            if (
+                obs is None
+                and self.watchdog is None
+                and self.checkpoint_hook is None
+            ):
                 processed = self._run_fast(until, max_events)
             else:
                 processed = self._run_guarded(until, max_events)
-        finally:
-            self._running = False
+        except BaseException:
+            lifecycle.fire("fail")
+            raise
+        lifecycle.fire("finish")
         active = self._active
         if active is not None and self._active_time > self.now:
             # A bounded run can break having just *activated* a future
@@ -484,7 +508,10 @@ class Engine:
         return processed
 
     def _run_guarded(self, until: int | None, max_events: int | None) -> int:
-        """The instrumented loop: per-event obs dispatch + watchdog ticks."""
+        """The instrumented loop: per-event obs dispatch, watchdog ticks,
+        and batch-boundary checkpoint writes (``checkpoint_due`` is set by
+        the runtime's batch machine observer *during* an event; the write
+        happens here, between events, where the queue is consistent)."""
         watchdog = self.watchdog
         processed = 0
         while True:
@@ -499,6 +526,11 @@ class Engine:
             processed += 1
             if watchdog is not None:
                 watchdog.tick(self.now)
+            if self.checkpoint_due:
+                self.checkpoint_due = False
+                hook = self.checkpoint_hook
+                if hook is not None:
+                    hook()
         return processed
 
     # ------------------------------------------------------------------
@@ -565,7 +597,30 @@ class Engine:
             "events_processed": self._events_processed,
             "pending_events": self._pending,
             "next_events": preview,
+            "run_loop": self.lifecycle.snapshot(),
         }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle a *between-events* engine as restorable state.
+
+        The queue levels (head slot, active bucket + index, calendar,
+        far heap) pickle as-is — counters are published between events,
+        which is the only place checkpoints are taken.  The watchdog and
+        checkpoint hook are dropped (the deadline is wall-clock and the
+        hook may close over process-local state; the resuming process
+        arms fresh ones) and the run-loop machine is normalised to
+        ``idle`` (counts kept): the restored engine is not inside
+        ``run()``.
+        """
+        state = self.__dict__.copy()
+        state["watchdog"] = None
+        state["checkpoint_hook"] = None
+        state["checkpoint_due"] = False
+        state["lifecycle"] = self.lifecycle.detached_copy("idle")
+        return state
 
 
 class HeapEngine:
@@ -586,9 +641,16 @@ class HeapEngine:
         self._queue: list[tuple[int, int, Callback]] = []
         self._seq = 0
         self._events_processed = 0
-        self._running = False
+        self._running = False  # kept for bench replicas that subclass us
         self.obs = None
         self.watchdog = None
+        #: Same declared run-loop lifecycle and checkpoint trigger slots
+        #: as :class:`Engine`, so the cross-engine snapshot/equivalence
+        #: locks compare like with like and the batch-machine observer
+        #: works against either engine.
+        self.lifecycle = StateMachine(ENGINE_LOOP, owner=self)
+        self.checkpoint_hook: Callback | None = None
+        self.checkpoint_due = False
 
     # -- scheduling ----------------------------------------------------
     def schedule(self, delay: int, callback: Callback) -> None:
@@ -635,8 +697,10 @@ class HeapEngine:
 
     def run(self, until: int | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` cycles pass, or ``max_events``."""
-        if self._running:
-            raise SimulationError("engine.run() is not reentrant")
+        lifecycle = self.lifecycle
+        lifecycle.fire(
+            "start", reason="engine.run() is not reentrant", now=self.now
+        )
         self._running = True
         start_time = self.now
         watchdog = self.watchdog
@@ -651,8 +715,17 @@ class HeapEngine:
                 processed += 1
                 if watchdog is not None:
                     watchdog.tick(self.now)
+                if self.checkpoint_due:
+                    self.checkpoint_due = False
+                    hook = self.checkpoint_hook
+                    if hook is not None:
+                        hook()
+        except BaseException:
+            lifecycle.fire("fail")
+            raise
         finally:
             self._running = False
+        lifecycle.fire("finish")
         if until is not None and until > self.now:
             if not self._queue or self._queue[0][0] > until:
                 self.now = until
@@ -688,4 +761,5 @@ class HeapEngine:
             "events_processed": self._events_processed,
             "pending_events": len(self._queue),
             "next_events": preview,
+            "run_loop": self.lifecycle.snapshot(),
         }

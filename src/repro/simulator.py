@@ -18,7 +18,9 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.baselines.etc import EtcController
 from repro.chaos import ChaosSession
@@ -37,7 +39,7 @@ from repro.gpu.config import SimConfig
 from repro.gpu.context import ContextCostModel
 from repro.gpu.dispatcher import Dispatcher
 from repro.gpu.occupancy import OccupancyCalculator
-from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.sm import StreamingMultiprocessor, _always_allowed
 from repro.gpu.thread_block import BlockState, ThreadBlock
 from repro.gpu.warp import Warp, WarpState
 from repro.gpu.warp_soa import (
@@ -52,6 +54,7 @@ from repro.gpu.warp_soa import (
     derive_ops,
 )
 from repro.invariants import InvariantChecker, Watchdog
+from repro.lifecycle import WARP_LIFECYCLE, TransitionValidator
 from repro.obs import current as _current_obs
 from repro.sim.engine import Engine
 from repro.uvm.compression import CapacityCompression
@@ -241,50 +244,7 @@ class GpuUvmSimulator:
         self.memory = GpuMemoryManager(
             frames, make_replacement_policy(config.uvm.replacement_policy)
         )
-        # Access-promotion hook for the SoA issue loop: None when the
-        # configured policy inherits the base no-op ``touch`` (aged-lru),
-        # letting the hot loop skip the per-page call entirely; bound
-        # method otherwise (access-lru).  Behaviour-identical either way.
-        policy = self.memory.policy
-        self._policy_touch = (
-            None
-            if type(policy).touch is ReplacementPolicy.touch
-            else policy.touch
-        )
-        # Per-SM hot-path bindings for the SoA issue loop: one tuple
-        # unpack replaces ~20 attribute-chain loads per executed op.  All
-        # referenced containers (TLB/cache sets, version map, dirty set)
-        # are created once in their owners' __init__ and never reassigned,
-        # so the bound references stay valid for the simulator's lifetime.
-        versions = self.page_table._versions
-        l2d = self.caches.l2
-        self._soa_hot = [
-            (
-                l1,
-                l1._sets[0],
-                l1._sets[0].get,
-                versions,
-                versions.get,
-                self.mmu.translate_after_l1_miss,
-                gpu.l1_tlb_hit_cycles,
-                l1d,
-                l1d._sets,
-                l1d.num_sets,
-                l1d.assoc,
-                l2d,
-                l2d._sets,
-                l2d.num_sets,
-                l2d.assoc,
-                gpu.l1_hit_cycles,
-                gpu.l2_hit_cycles,
-                gpu.memory_latency_cycles,
-                self._access_penalty,
-                self.memory._alloc_time,
-                self.memory._dirty.add,
-                self._policy_touch,
-            )
-            for l1, l1d in zip(self.mmu.l1_tlbs, self.caches.l1)
-        ]
+        self._bind_hot_paths()
         self.pcie = PcieModel(config.uvm)
         self.runtime = UvmRuntime(
             self.engine,
@@ -295,9 +255,6 @@ class GpuUvmSimulator:
             make_eviction_strategy(config.eviction),
             make_prefetcher(config.uvm),
             workload.address_space.all_pages(),
-        )
-        self._schedule_warp_impl = (
-            self._schedule_warp_soa if backend == "soa" else self._schedule_warp
         )
         self.runtime.wake_warp = self._wake_warp
         self.runtime.wake_warps = (
@@ -321,6 +278,10 @@ class GpuUvmSimulator:
 
         #: Batch-boundary consistency checker (:mod:`repro.invariants`).
         self.invariants: InvariantChecker | None = None
+        #: Shared warp-lifecycle conformance checker (one per simulator,
+        #: not per warp); installed on warps/stores only when invariant
+        #: checking is on.
+        self._warp_validator: TransitionValidator | None = None
         if config.check_invariants:
             self.invariants = InvariantChecker(
                 memory=self.memory,
@@ -328,6 +289,16 @@ class GpuUvmSimulator:
                 runtime=self.runtime,
             )
             self.runtime.invariants = self.invariants
+            # Transition-level hooks: every declared lifecycle move is
+            # reported to the checker's counting observer.
+            self.engine.lifecycle.observer = self.invariants.on_transition
+            self._warp_validator = TransitionValidator(
+                WARP_LIFECYCLE, observer=self.invariants.on_transition
+            )
+        # The batch machine's observer also drives the batch-boundary
+        # checkpoint trigger, so it is installed unconditionally (batch
+        # transitions are rare — a few per batch, not per event).
+        self.runtime.machine.observer = self._on_batch_transition
 
         self.to_controller = ThreadOversubscriptionController(config.to)
 
@@ -374,6 +345,78 @@ class GpuUvmSimulator:
         self._context_switches = 0
         self._switch_cycles = 0
         self._ran = False
+        #: True on instances rebuilt from a checkpoint (see ``resume``).
+        self._restored = False
+        #: This run's obs scope index (int), kept so a restored run
+        #: continues emitting into the same named track.
+        self._obs_scope: int | None = None
+        # Checkpoint policy + bookkeeping (see ``enable_checkpoints``).
+        self._checkpoint_dir: str | None = None
+        self._checkpoint_every = 1
+        self._checkpoint_basename = ""
+        self._batches_since_checkpoint = 0
+        self.checkpoint_writes = 0
+        self.checkpoint_write_seconds = 0.0
+        self.last_checkpoint_path: str | None = None
+
+    def _bind_hot_paths(self) -> None:
+        """(Re)build the process-local hot-path bindings.
+
+        Called from ``__init__`` and again from ``__setstate__``: the SoA
+        issue loop's per-SM tuples hold bound builtin methods
+        (``dict.get``, ``set.add``) that cannot be pickled, so checkpoints
+        drop them and restore rebinds against the unpickled containers.
+        """
+        self._schedule_warp_impl = (
+            self._schedule_warp_soa
+            if self.backend == "soa"
+            else self._schedule_warp
+        )
+        # Access-promotion hook for the SoA issue loop: None when the
+        # configured policy inherits the base no-op ``touch`` (aged-lru),
+        # letting the hot loop skip the per-page call entirely; bound
+        # method otherwise (access-lru).  Behaviour-identical either way.
+        policy = self.memory.policy
+        self._policy_touch = (
+            None
+            if type(policy).touch is ReplacementPolicy.touch
+            else policy.touch
+        )
+        # Per-SM hot-path bindings for the SoA issue loop: one tuple
+        # unpack replaces ~20 attribute-chain loads per executed op.  All
+        # referenced containers (TLB/cache sets, version map, dirty set)
+        # are created once in their owners' __init__ and never reassigned,
+        # so the bound references stay valid for the simulator's lifetime.
+        gpu = self.config.gpu
+        versions = self.page_table._versions
+        l2d = self.caches.l2
+        self._soa_hot = [
+            (
+                l1,
+                l1._sets[0],
+                l1._sets[0].get,
+                versions,
+                versions.get,
+                self.mmu.translate_after_l1_miss,
+                gpu.l1_tlb_hit_cycles,
+                l1d,
+                l1d._sets,
+                l1d.num_sets,
+                l1d.assoc,
+                l2d,
+                l2d._sets,
+                l2d.num_sets,
+                l2d.assoc,
+                gpu.l1_hit_cycles,
+                gpu.l2_hit_cycles,
+                gpu.memory_latency_cycles,
+                self._access_penalty,
+                self.memory._alloc_time,
+                self.memory._dirty.add,
+                self._policy_touch,
+            )
+            for l1, l1d in zip(self.mmu.l1_tlbs, self.caches.l1)
+        ]
 
     # ------------------------------------------------------------------
     # Public API
@@ -396,22 +439,55 @@ class GpuUvmSimulator:
         if self._ran:
             raise SimulationError("simulator instances are single-use")
         self._ran = True
+        self._arm_watchdog(wall_budget_seconds)
+        if self.obs is not None:
+            # Each run gets its own scope (a named process group in the
+            # exported trace), so several runs in one obs session never
+            # interleave on the same tracks.
+            self._obs_scope = self.obs.tracer.open_scope(self.workload.name)
+        if self.config.to.enabled:
+            self.lifetime_monitor.start()
+        self.engine.schedule(0, self._start_next_kernel)
+        return self._drive(max_events)
+
+    def resume(
+        self,
+        max_events: int | None = None,
+        wall_budget_seconds: float | None = None,
+    ) -> SimulationResult:
+        """Continue a checkpoint-restored run to completion.
+
+        Only valid on instances rebuilt by :mod:`repro.checkpoint`: the
+        engine queue, page tables, warp state, and RNG streams are
+        exactly as captured, so driving the queue again produces the same
+        ``SimulationResult`` bits an uninterrupted run would have.
+        """
+        if not self._restored:
+            raise SimulationError(
+                "resume() is only valid on a checkpoint-restored simulator"
+            )
+        if self._done:
+            raise SimulationError("cannot resume a completed simulation")
+        self._arm_watchdog(wall_budget_seconds)
+        return self._drive(max_events)
+
+    def _arm_watchdog(self, wall_budget_seconds: float | None) -> None:
         if wall_budget_seconds is not None or self.config.check_invariants:
             self.engine.watchdog = Watchdog(
                 wall_budget_seconds=wall_budget_seconds,
                 snapshot=self.state_snapshot,
             )
+
+    def _drive(self, max_events: int | None) -> SimulationResult:
+        """Shared tail of :meth:`run` and :meth:`resume`: drain the event
+        queue, validate completion, build the result — and on failure
+        attach diagnostics (flight recorder) and, for stalls, write a
+        resumable checkpoint instead of discarding the finished work."""
         previous_scope = None
-        if self.obs is not None:
-            # Each run gets its own scope (a named process group in the
-            # exported trace), so several runs in one obs session never
-            # interleave on the same tracks.
-            scope = self.obs.tracer.open_scope(self.workload.name)
-            previous_scope = self.obs.tracer.set_scope(scope)
+        scoped = self.obs is not None and self._obs_scope is not None
+        if scoped:
+            previous_scope = self.obs.tracer.set_scope(self._obs_scope)
         try:
-            if self.config.to.enabled:
-                self.lifetime_monitor.start()
-            self.engine.schedule(0, self._start_next_kernel)
             self.engine.run(max_events=max_events)
             if not self._done:
                 reason = (
@@ -428,24 +504,132 @@ class GpuUvmSimulator:
             if self.invariants is not None:
                 self.invariants.on_quiescence(self.engine.now)
             return self._build_result()
-        except (SimulationStalledError, InvariantViolation, InjectionError) as exc:
-            an = self._an
-            if an is not None:
-                # Flight-recorder dump: recent batch records + engine
-                # events, attached as an *attribute* (ReproError.__reduce__
-                # preserves __dict__, so the dump survives worker-process
-                # pickling and lands in the runner's failure snapshots).
-                exc.flight_recorder = an.failure_dump(
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                    now=self.engine.now,
-                    state=self.state_snapshot(),
-                    fault_buffer=self.runtime.fault_buffer.counters(),
-                )
+        except SimulationStalledError as exc:
+            self._attach_flight(exc)
+            # A stall (watchdog timeout / wall budget) leaves the engine
+            # *between events* — the watchdog ticks after each step — so
+            # the state is consistent and worth keeping.  The checkpoint
+            # path rides on the error for the harness's resume logic.
+            if self._checkpoint_dir is not None:
+                try:
+                    exc.checkpoint_path = str(self._write_checkpoint())
+                except Exception as write_exc:  # keep the stall primary
+                    exc.checkpoint_error = repr(write_exc)
+            raise
+        except (InvariantViolation, InjectionError) as exc:
+            # No checkpoint here: these raise mid-callback, where queue
+            # counters and component state may be inconsistent.
+            self._attach_flight(exc)
             raise
         finally:
-            if self.obs is not None:
+            if scoped:
                 self.obs.tracer.set_scope(previous_scope)
+
+    def _attach_flight(self, exc) -> None:
+        an = self._an
+        if an is not None:
+            # Flight-recorder dump: recent batch records + engine
+            # events, attached as an *attribute* (ReproError.__reduce__
+            # preserves __dict__, so the dump survives worker-process
+            # pickling and lands in the runner's failure snapshots).
+            exc.flight_recorder = an.failure_dump(
+                error_type=type(exc).__name__,
+                message=str(exc),
+                now=self.engine.now,
+                state=self.state_snapshot(),
+                fault_buffer=self.runtime.fault_buffer.counters(),
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def enable_checkpoints(
+        self,
+        directory: str | Path,
+        every: int = 1,
+        basename: str | None = None,
+    ) -> None:
+        """Write a whole-simulation checkpoint every ``every`` completed
+        batches (and on watchdog stalls) into ``directory``.
+
+        The batch machine's ``complete`` transition marks the file due;
+        the engine's guarded loop writes it *between* events — possibly a
+        few events into the next batch, which is still a consistent (and
+        restorable) point.  Enabling checkpoints routes the engine through
+        its guarded loop; leave disabled for cache-hot sweeps.
+        """
+        if every <= 0:
+            raise ConfigError("checkpoint interval must be positive", every=every)
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._checkpoint_dir = str(directory)
+        self._checkpoint_every = int(every)
+        self._checkpoint_basename = basename or (
+            f"{self.workload.name}-{self.backend}"
+        )
+        self.engine.checkpoint_hook = self._write_checkpoint
+
+    def snapshot(self):
+        """In-memory whole-simulation checkpoint (``SimCheckpoint``).
+
+        Only meaningful between engine events — i.e. before :meth:`run`,
+        after it returns/raises a stall, or from the engine's checkpoint
+        hook.  Capturing mid-event would freeze a half-applied step.
+        """
+        from repro.checkpoint import SimCheckpoint
+
+        return SimCheckpoint.capture(self)
+
+    @classmethod
+    def restore(cls, checkpoint) -> "GpuUvmSimulator":
+        """Rebuild a simulator from a ``SimCheckpoint`` or checkpoint file."""
+        from repro.checkpoint import restore_checkpoint
+
+        return restore_checkpoint(checkpoint)
+
+    def _write_checkpoint(self) -> Path:
+        """Engine checkpoint hook: persist the current state atomically."""
+        from repro.checkpoint import save_checkpoint
+
+        path = Path(self._checkpoint_dir) / f"{self._checkpoint_basename}.ckpt"
+        start = time.perf_counter()
+        save_checkpoint(self, path)
+        self.checkpoint_write_seconds += time.perf_counter() - start
+        self.checkpoint_writes += 1
+        self.last_checkpoint_path = str(path)
+        return path
+
+    def _on_batch_transition(
+        self, machine: str, event: str, source: str, target: str
+    ) -> None:
+        """Observer on the runtime's batch machine: forward to the
+        invariant checker and mark checkpoints due at batch boundaries."""
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.on_transition(machine, event, source, target)
+        if event == "complete" and self.engine.checkpoint_hook is not None:
+            self._batches_since_checkpoint += 1
+            if self._batches_since_checkpoint >= self._checkpoint_every:
+                self._batches_since_checkpoint = 0
+                self.engine.checkpoint_due = True
+
+    def __getstate__(self) -> dict:
+        """Checkpoint pickling: drop the process-local hot-path bindings.
+
+        ``_soa_hot`` holds bound builtin methods (``dict.get``,
+        ``set.add``) that cannot pickle; ``__setstate__`` rebinds them
+        against the restored containers via :meth:`_bind_hot_paths`.
+        """
+        state = self.__dict__.copy()
+        state.pop("_soa_hot", None)
+        state.pop("_policy_touch", None)
+        state.pop("_schedule_warp_impl", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._bind_hot_paths()
+        self._restored = True
 
     # ------------------------------------------------------------------
     # Kernel lifecycle
@@ -469,7 +653,7 @@ class GpuUvmSimulator:
         active_limit = self.occupancy.blocks_per_sm(kernel.resources)
         forced = self.config.forced_oversubscription
         switch_allowed = (
-            (lambda: True) if forced else self.to_controller.context_switch_allowed
+            _always_allowed if forced else self.to_controller.context_switch_allowed
         )
         self._sms = [
             StreamingMultiprocessor(
@@ -509,12 +693,14 @@ class GpuUvmSimulator:
     def _build_blocks_object(self, kernel) -> list[ThreadBlock]:
         """Reference object-model kernel build: one Warp object per warp."""
         blocks: list[ThreadBlock] = []
+        validator = self._warp_validator
         for block_trace in kernel.blocks:
             warps = []
             for warp_id, ops in enumerate(block_trace.warp_ops):
                 warp = Warp(warp_id, ops)
                 warp.exec_event = _ExecuteOpEvent(self, warp)
                 warp.complete_event = _WarpCompletedEvent(self, warp)
+                warp.validator = validator
                 if not ops:
                     warp.state = WarpState.FINISHED
                 warps.append(warp)
@@ -536,6 +722,7 @@ class GpuUvmSimulator:
         """
         total = sum(len(bt.warp_ops) for bt in kernel.blocks)
         store = WarpStore(total)
+        store.validator = self._warp_validator
         self._warp_store = store
         blocks: list[ThreadBlock] = []
         derived = self._kernel_derived_soa(kernel)

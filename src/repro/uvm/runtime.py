@@ -25,6 +25,7 @@ from typing import AbstractSet, Callable, Iterable
 from repro.core.batching import BatchRecord, BatchStats
 from repro.errors import SimulationError
 from repro.gpu.config import UvmConfig
+from repro.lifecycle import BATCH_PIPELINE, StateMachine
 from repro.sim.engine import Engine
 from repro.uvm.eviction import EvictionStrategy
 from repro.uvm.fault_buffer import FaultBuffer, FaultEntry
@@ -32,6 +33,18 @@ from repro.uvm.memory_manager import GpuMemoryManager
 from repro.uvm.prefetcher import NoPrefetcher
 from repro.uvm.transfer import PcieModel
 from repro.vm.page_table import PageTable
+
+
+def _noop_wake(warp) -> None:
+    """Default :attr:`UvmRuntime.wake_warp` (module-level: picklable)."""
+
+
+def _noop_evict(page: int) -> None:
+    """Default :attr:`UvmRuntime.on_evict` (module-level: picklable)."""
+
+
+def _noop_batch_end(record: BatchRecord) -> None:
+    """Default :attr:`UvmRuntime.on_batch_end` (module-level: picklable)."""
 
 
 class UvmRuntime:
@@ -62,8 +75,12 @@ class UvmRuntime:
         self.fault_buffer = FaultBuffer(uvm.fault_buffer_entries)
         self.batch_stats = BatchStats()
         self._waiters: dict[int, list] = {}
-        self._busy = False
-        self._interrupt_pending = False
+        #: The batch pipeline's declared lifecycle (paper Figure 2):
+        #: idle → interrupt → preprocess → migrate → idle.  Replaces the
+        #: old ``_busy``/``_interrupt_pending`` flag pair; ``idle`` maps
+        #: to neither flag set, ``interrupt`` to ``_interrupt_pending``,
+        #: and ``migrate`` to ``_busy``.
+        self.machine = StateMachine(BATCH_PIPELINE, owner=self)
         self._current: BatchRecord | None = None
         self._remaining_arrivals = 0
         # Frames unmapped but whose eviction transfer hasn't finished yet;
@@ -71,7 +88,7 @@ class UvmRuntime:
         self._pending_frames: list[int] = []
 
         #: Called with a warp whose last awaited page arrived.
-        self.wake_warp: Callable[..., None] = lambda warp: None
+        self.wake_warp: Callable[..., None] = _noop_wake
         #: Batched variant: called once per page arrival with ``(page,
         #: now, waiters)`` and fans out to every same-cycle waiter in a
         #: single call.  The implementation must preserve per-warp order —
@@ -81,9 +98,9 @@ class UvmRuntime:
         #: back to per-warp :attr:`wake_warp` calls.
         self.wake_warps: Callable[..., None] | None = None
         #: Called with each evicted page (cache/TLB invalidation hook).
-        self.on_evict: Callable[[int], None] = lambda page: None
+        self.on_evict: Callable[[int], None] = _noop_evict
         #: Called when a batch completes (TO controller, ETC epochs).
-        self.on_batch_end: Callable[[BatchRecord], None] = lambda record: None
+        self.on_batch_end: Callable[[BatchRecord], None] = _noop_batch_end
         #: Optional :class:`repro.sim.timeline.Timeline` receiving batch
         #: lifecycle events for Figure-2-style rendering.
         self.timeline = None
@@ -117,7 +134,8 @@ class UvmRuntime:
     # ------------------------------------------------------------------
     @property
     def busy(self) -> bool:
-        return self._busy
+        """A batch is in flight (lifecycle state ``migrate``)."""
+        return self.machine.state == "migrate"
 
     def page_has_waiters(self, page: int) -> bool:
         return page in self._waiters
@@ -134,10 +152,11 @@ class UvmRuntime:
         if warp is not None:
             self._waiters[page].append(warp)
         self.fault_buffer.push(FaultEntry(page, warp, self.engine.now))
-        if not self._busy and not self._interrupt_pending:
+        machine = self.machine
+        if machine.state == "idle":
             # Top-half ISR dispatch; the fault buffer keeps filling until
             # the batch begins and drains it.
-            self._interrupt_pending = True
+            machine.fire("fault")
             self.engine.schedule(self.uvm.interrupt_latency_cycles, self._begin_batch)
 
     # ------------------------------------------------------------------
@@ -151,15 +170,18 @@ class UvmRuntime:
         )
 
     def _begin_batch(self) -> None:
-        self._interrupt_pending = False
-        if self._busy:
-            raise SimulationError(
-                "batch begin while runtime busy",
-                open_batch=self._current.index if self._current else None,
-                next_batch=self.batch_stats.num_batches,
-                buffered_entries=len(self.fault_buffer),
-                now=self.engine.now,
-            )
+        # ``begin`` is declared from ``interrupt`` (ISR fired) and
+        # ``idle`` (a completed batch chaining into the next); from
+        # ``migrate`` — the old "batch begin while runtime busy" — it is
+        # an IllegalTransition carrying the machine snapshot.
+        machine = self.machine
+        machine.fire(
+            "begin",
+            open_batch=self._current.index if self._current else None,
+            next_batch=self.batch_stats.num_batches,
+            buffered_entries=len(self.fault_buffer),
+            now=self.engine.now,
+        )
         chaos = self.chaos
         if chaos is not None:
             chaos.on_batch_begin(self.batch_stats.num_batches, self.engine.now)
@@ -195,14 +217,16 @@ class UvmRuntime:
                     entries=n_entries,
                     replayed=replayed,
                 )
-            if not self.fault_buffer.empty and not self._interrupt_pending:
-                self._interrupt_pending = True
+            if not self.fault_buffer.empty:
+                machine.fire("rearm")
                 self.engine.schedule(
                     self.uvm.interrupt_latency_cycles, self._begin_batch
                 )
+            else:
+                machine.fire("empty")
             return
 
-        self._busy = True
+        machine.fire("dispatch")
         now = self.engine.now
         record = BatchRecord(
             index=self.batch_stats.num_batches,
@@ -493,6 +517,15 @@ class UvmRuntime:
 
     def _end_batch(self) -> None:
         record = self._current
+        # ``complete`` is declared only from ``migrate`` and guarded on
+        # all arrivals having landed — a batch end without an open batch
+        # (or with migrations still in flight) raises IllegalTransition.
+        self.machine.fire(
+            "complete",
+            open_batch=record.index if record is not None else None,
+            completed_batches=self.batch_stats.num_batches,
+            now=self.engine.now,
+        )
         if record is None:
             raise SimulationError(
                 "batch end without an open batch",
@@ -502,7 +535,6 @@ class UvmRuntime:
         record.end_time = self.engine.now
         self.batch_stats.add(record)
         self._current = None
-        self._busy = False
         if self.timeline is not None:
             self.timeline.record(self.engine.now, "batch_end", value=record.index)
         obs = self.obs
@@ -570,7 +602,7 @@ class UvmRuntime:
     @property
     def remaining_arrivals(self) -> int:
         """Migrations still in flight for the open batch."""
-        return self._remaining_arrivals if self._busy else 0
+        return self._remaining_arrivals if self.busy else 0
 
     @property
     def pending_frame_count(self) -> int:
@@ -578,9 +610,18 @@ class UvmRuntime:
         return len(self._pending_frames)
 
     def state_snapshot(self) -> dict:
-        """Diagnostic snapshot for stall/failure reports."""
+        """Diagnostic snapshot for stall/failure reports.
+
+        Reports the batch machine's lifecycle state and per-event
+        transition counts alongside the legacy queue-depth keys, so a
+        watchdog/:class:`~repro.errors.CellFailure` diagnosis (and the
+        flight-recorder dump riding on it) names the exact pipeline stage
+        instead of a boolean."""
+        machine = self.machine
         return {
-            "busy": self._busy,
+            "lifecycle": machine.state,
+            "transitions": dict(machine.counts),
+            "busy": self.busy,
             "open_batch": self.open_batch_index,
             "completed_batches": self.batch_stats.num_batches,
             "remaining_arrivals": self._remaining_arrivals,

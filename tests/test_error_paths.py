@@ -144,16 +144,19 @@ class TestEngineRecovery:
         """The runtime's reentrancy error names the open batch and clock —
         enough to debug a scheduling bug from the message alone."""
         from repro import GpuUvmSimulator, build_workload, systems
+        from repro.errors import IllegalTransition
 
         workload = build_workload("BFS-TTC", scale="tiny", seed=0)
         config = systems.BASELINE.configure(workload, ratio=0.5)
         sim = GpuUvmSimulator(workload, config)
         runtime = sim.runtime
-        runtime._busy = True  # simulate a mid-batch state
-        with pytest.raises(SimulationError, match="busy") as excinfo:
+        runtime.machine.state = "migrate"  # simulate a mid-batch state
+        with pytest.raises(SimulationError, match="begin") as excinfo:
             runtime._begin_batch()
+        assert isinstance(excinfo.value, IllegalTransition)
         assert "now=" in str(excinfo.value)
-        runtime._busy = False
+        assert excinfo.value.machine_snapshot["state"] == "migrate"
+        runtime.machine.state = "idle"
 
 
 class TestFaultBufferAccounting:

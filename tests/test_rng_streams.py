@@ -1,0 +1,116 @@
+"""RNG-stream audit: every random draw is a named, seeded, picklable stream.
+
+Checkpoint/restore is only bit-identical if *no* randomness hides in
+global state: every stream must be (a) derived from an explicit seed,
+(b) owned by an object that pickles with its full Mersenne state, and
+(c) never the shared module-level ``random`` generator.  The lint test
+greps the source tree for bare ``random.<draw>()`` calls; the behavioural
+tests pin the derivation, independence, and pickle round-trip of the
+chaos streams (the only stdlib-``random`` users in the package).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import pickle
+import random
+import re
+
+from repro.chaos.config import parse_chaos_spec
+from repro.chaos.injectors import INJECTOR_KINDS, ChaosSession, _derive_rng
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+
+#: Module-level draw/seed functions of the ``random`` module.  Calling
+#: any of these uses the hidden global generator — unseeded per process,
+#: invisible to checkpoints, and shared across components.
+_BARE_RANDOM = re.compile(
+    r"(?<![\w.])random\.("
+    r"random|randint|randrange|randbytes|choice|choices|shuffle|sample|"
+    r"uniform|seed|getstate|setstate|getrandbits|gauss|normalvariate|"
+    r"expovariate|betavariate|triangular|vonmisesvariate|paretovariate|"
+    r"weibullvariate|lognormvariate"
+    r")\s*\("
+)
+
+#: Module-level use of numpy's legacy global generator (``np.random.seed``
+#: / ``np.random.rand`` etc.).  ``np.random.default_rng(seed)`` and
+#: ``np.random.Generator`` are the sanctioned forms.
+_BARE_NP_RANDOM = re.compile(
+    r"np\.random\.(?!default_rng|Generator|SeedSequence)[a-z_]+\s*\("
+)
+
+
+def test_no_bare_random_calls_in_source():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if _BARE_RANDOM.search(line) or _BARE_NP_RANDOM.search(line):
+                offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "bare global-RNG call(s) found — use a named, seeded stream "
+        "(random.Random(seed) / np.random.default_rng(seed)) so "
+        "checkpoints capture the state:\n" + "\n".join(offenders)
+    )
+
+
+def test_derived_streams_are_deterministic_and_independent():
+    # Same (seed, kind) -> identical sequence; different kinds -> distinct.
+    draws = {
+        kind: [_derive_rng(7, kind).random() for _ in range(4)]
+        for kind in INJECTOR_KINDS
+    }
+    for kind in INJECTOR_KINDS:
+        again = [_derive_rng(7, kind).random() for _ in range(4)]
+        assert again == draws[kind]
+    sequences = [tuple(seq) for seq in draws.values()]
+    assert len(set(sequences)) == len(sequences), (
+        "injector kinds share an RNG stream"
+    )
+    # And the base seed matters.
+    assert [_derive_rng(8, "drop-fault").random()] != [
+        _derive_rng(7, "drop-fault").random()
+    ]
+
+
+def test_random_stream_pickles_with_full_state():
+    rng = _derive_rng(3, "dma-stall")
+    [rng.random() for _ in range(100)]  # advance mid-stream
+    clone = pickle.loads(pickle.dumps(rng))
+    assert [clone.random() for _ in range(50)] == [
+        rng.random() for _ in range(50)
+    ], "pickled RNG stream diverged — checkpoints would not be bit-identical"
+
+
+def test_chaos_session_streams_survive_pickling():
+    spec = "drop-fault:prob=0.5;fault-latency:prob=0.5,mult=2"
+    session = ChaosSession(parse_chaos_spec(spec, seed=5))
+    for _ in range(25):  # advance both streams unevenly
+        session.fault_entry_action(0x1000, now=0)
+        session.perturb_fault_handling(100, now=0)
+    clone = pickle.loads(pickle.dumps(session))
+    for _ in range(25):
+        assert clone.fault_entry_action(0x2000, now=1) == (
+            session.fault_entry_action(0x2000, now=1)
+        )
+        assert clone.perturb_fault_handling(100, now=1) == (
+            session.perturb_fault_handling(100, now=1)
+        )
+    assert clone.injection_counts() == session.injection_counts()
+
+
+def test_module_global_random_is_untouched_by_a_run():
+    """A full simulation must not consume (or reseed) the process-global
+    generator — the behavioural teeth behind the lint test."""
+    from repro import GpuUvmSimulator, build_workload, systems
+
+    random.seed(1234)
+    probe_before = random.Random(0).random()  # sanity: Random(0) unaffected
+    expected = random.getstate()
+    workload = build_workload("KCORE", scale="tiny", seed=0)
+    config = systems.TO_UE.configure(workload, ratio=0.5)
+    GpuUvmSimulator(workload, config).run()
+    assert random.getstate() == expected, (
+        "simulation consumed the module-global random generator"
+    )
+    assert random.Random(0).random() == probe_before
