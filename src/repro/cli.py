@@ -31,7 +31,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import asdict
 from pathlib import Path
 
 from repro import obs as obs_mod
@@ -345,9 +344,12 @@ def main(argv: list[str] | None = None) -> int:
         except OSError:
             pass
     if args.result_out:
+        # One serialiser shared with the serving layer keeps repro-serve
+        # responses bit-identical to this file on the wire.
+        from repro.serve.protocol import dump_result_json
+
         with open(args.result_out, "w") as fh:
-            json.dump(asdict(result), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+            fh.write(dump_result_json(result))
         print(f"result: -> {args.result_out}")
 
     print(result.summary())

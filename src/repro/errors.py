@@ -102,6 +102,66 @@ class SimulationStalledError(SimulationError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for the serving layer (:mod:`repro.serve`).
+
+    Every serve error maps onto one HTTP status (``http_status``) and a
+    stable machine-readable ``code`` that clients can branch on; the
+    server renders them as structured JSON error envelopes instead of
+    dropping connections (see ``docs/serving.md``).
+    """
+
+    http_status = 500
+    code = "internal_error"
+
+
+class ProtocolError(ServeError):
+    """A request violates the serve protocol: malformed HTTP framing,
+    invalid JSON, schema violations, unknown routes/presets/workloads.
+    ``context`` may carry ``field`` naming the offending request field."""
+
+    http_status = 400
+    code = "bad_request"
+
+    @property
+    def field(self) -> str | None:
+        return self.context.get("field")
+
+
+class RequestTooLargeError(ProtocolError):
+    """The request body exceeds the server's configured limit."""
+
+    http_status = 413
+    code = "payload_too_large"
+
+
+class ServerSaturatedError(ServeError):
+    """Admission control refused the request: the queue is full.
+
+    Rendered as ``429 Too Many Requests`` with a ``Retry-After`` header;
+    ``retry_after`` is the server's backlog-based estimate in seconds.
+    """
+
+    http_status = 429
+    code = "saturated"
+
+    def __init__(self, message: str = "", *, retry_after: int = 1, **context) -> None:
+        super().__init__(message, retry_after=retry_after, **context)
+        self.retry_after = retry_after
+
+
+class ServerShutdownError(ServeError):
+    """The server is draining: queued work is refused or abandoned.
+
+    In-flight cells are allowed to finish (or checkpoint); every request
+    still waiting in the admission queue resolves to this error so
+    clients see a structured shutdown instead of a dropped connection.
+    """
+
+    http_status = 503
+    code = "shutting_down"
+
+
 class LayoutError(ReproError):
     """An address-space layout request could not be satisfied."""
 

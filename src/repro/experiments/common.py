@@ -26,6 +26,7 @@ import os
 import pathlib
 import pickle
 import sys
+import threading
 import time as _time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -267,7 +268,21 @@ _TRANSIENT_ERRORS = (OSError, MemoryError, BrokenProcessPool)
 FAILURES: list[CellFailure] = []
 
 #: Per-process counters for observability (see :func:`cache_stats`).
-CACHE_STATS = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+CACHE_STATS = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "evictions": 0}
+
+# ---- Cache quota / LRU eviction (see docs/serving.md) ----------------
+#: Size budget for the persistent cache directory in bytes; ``None``
+#: leaves the cache unbounded (the historical behaviour).
+_CACHE_QUOTA_BYTES: int | None = None
+_env_quota = os.environ.get("REPRO_CACHE_QUOTA_MB")
+if _env_quota:
+    _CACHE_QUOTA_BYTES = max(1, int(float(_env_quota) * 1024 * 1024))
+#: Cache files that must never be evicted while pinned (in-flight server
+#: entries), as ``{file name: pin count}``; guarded by ``_PIN_LOCK``
+#: because the serving layer pins from the event loop while eviction
+#: runs on a worker thread.
+_PINNED_PATHS: dict[str, int] = {}
+_PIN_LOCK = threading.Lock()
 
 
 def set_cache_enabled(enabled: bool) -> None:
@@ -370,6 +385,98 @@ def drain_failures() -> list[CellFailure]:
     return failures
 
 
+def set_cache_quota(max_bytes: int | None) -> None:
+    """Bound the persistent cache directory to ``max_bytes`` of entries.
+
+    When a store pushes the directory past the quota, the least recently
+    *used* entries are evicted first (disk hits refresh an entry's mtime,
+    so recency tracks reads, not just writes).  Pinned entries
+    (:func:`pin_cache_entry` — the serving layer's in-flight results) are
+    never evicted.  ``None`` restores the historical unbounded behaviour.
+    """
+    global _CACHE_QUOTA_BYTES
+    if max_bytes is not None and max_bytes <= 0:
+        raise ValueError("cache quota must be positive (or None)")
+    _CACHE_QUOTA_BYTES = max_bytes
+
+
+def cache_quota() -> int | None:
+    """The active cache size budget in bytes (``None``: unbounded)."""
+    return _CACHE_QUOTA_BYTES
+
+
+def pin_cache_entry(key: tuple) -> None:
+    """Protect ``key``'s cache file from quota eviction (refcounted)."""
+    name = _cache_path(key).name
+    with _PIN_LOCK:
+        _PINNED_PATHS[name] = _PINNED_PATHS.get(name, 0) + 1
+
+
+def unpin_cache_entry(key: tuple) -> None:
+    """Drop one pin from ``key``'s cache file (missing pins are ignored)."""
+    name = _cache_path(key).name
+    with _PIN_LOCK:
+        count = _PINNED_PATHS.get(name, 0) - 1
+        if count > 0:
+            _PINNED_PATHS[name] = count
+        else:
+            _PINNED_PATHS.pop(name, None)
+
+
+def pinned_cache_entries() -> int:
+    """Number of currently pinned cache files (for stats/tests)."""
+    with _PIN_LOCK:
+        return len(_PINNED_PATHS)
+
+
+def enforce_cache_quota() -> int:
+    """Evict least-recently-used ``*.pkl`` entries beyond the quota.
+
+    Returns the number of files removed.  Runs automatically after every
+    store; exposed for operators (and the serving layer) to trigger a
+    sweep after lowering the quota.  Pinned entries are skipped even when
+    that leaves the directory over budget.
+    """
+    if _CACHE_QUOTA_BYTES is None:
+        return 0
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    entries = []
+    total = 0
+    for path in directory.glob("*.pkl"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+        total += stat.st_size
+    if total <= _CACHE_QUOTA_BYTES:
+        return 0
+    with _PIN_LOCK:
+        pinned = set(_PINNED_PATHS)
+    evicted = 0
+    for _, size, path in sorted(entries, key=lambda e: (e[0], e[2].name)):
+        if total <= _CACHE_QUOTA_BYTES:
+            break
+        if path.name in pinned:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        evicted += 1
+    if evicted:
+        CACHE_STATS["evictions"] += evicted
+        obs = _obs_current()
+        if obs is not None:
+            obs.metrics.counter(
+                "experiments.cache", outcome="evictions"
+            ).inc(evicted)
+    return evicted
+
+
 def cache_dir() -> pathlib.Path:
     """The active persistent-cache directory (not necessarily created)."""
     if _CACHE_DIR is not None:
@@ -451,6 +558,10 @@ def _disk_load(key: tuple) -> SimulationResult | None:
         return None
     if stored_key != key or not isinstance(result, SimulationResult):
         return None
+    try:
+        os.utime(path)  # refresh LRU recency: reads count as use
+    except OSError:
+        pass
     return result
 
 
@@ -463,7 +574,8 @@ def _disk_store(key: tuple, result: SimulationResult) -> None:
             pickle.dump((key, result), fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)  # atomic: concurrent writers can't corrupt
     except OSError:
-        pass  # caching is best-effort; an unwritable dir must not fail runs
+        return  # caching is best-effort; an unwritable dir must not fail runs
+    enforce_cache_quota()
 
 
 def clear_persistent_cache() -> int:
@@ -521,6 +633,18 @@ def _cache_put(key: tuple, result: SimulationResult, use_cache: bool) -> None:
     _RUN_CACHE[key] = result
     if _CACHE_ENABLED:
         _disk_store(key, result)
+
+
+def probe_cache(
+    spec: RunSpec, use_cache: bool = True
+) -> SimulationResult | None:
+    """Look ``spec`` up in the memo + disk cache without running anything.
+
+    The serving layer's warm fast path: a hit is counted and returned
+    immediately (no admission, no batching); a miss returns ``None`` and
+    counts nothing — the eventual :func:`run_cells` dispatch records it.
+    """
+    return _cache_get(_memo_key(spec.resolved()), use_cache)
 
 
 # ----------------------------------------------------------------------
@@ -626,7 +750,10 @@ def _simulate_spec(spec: RunSpec) -> SimulationResult:
 
 
 def _record_failure(
-    spec: RunSpec, exc: BaseException, attempts: int
+    spec: RunSpec,
+    exc: BaseException,
+    attempts: int,
+    on_error: str | None = None,
 ) -> CellFailure:
     """Convert a persistently failing cell into a structured record.
 
@@ -649,9 +776,13 @@ def _record_failure(
     # resume the cell by hand even after the retry budget ran out.
     failure.flight_recorder = getattr(exc, "flight_recorder", None)
     failure.checkpoint_path = getattr(exc, "checkpoint_path", None)
-    if _ON_ERROR != "keep-going":
+    if (on_error or _ON_ERROR) != "keep-going":
         raise failure from exc
-    FAILURES.append(failure)
+    if on_error is None:
+        # Only the module-wide policy accumulates into FAILURES (drained
+        # by the CLI's sweep report); per-call keep-going callers (the
+        # serving layer) receive failures in their result slots instead.
+        FAILURES.append(failure)
     obs = _obs_current()
     if obs is not None:
         obs.metrics.counter(
@@ -675,7 +806,9 @@ def _resumable_stall(exc: BaseException | None, spec: RunSpec) -> bool:
 
 
 def _run_one(
-    spec: RunSpec, prior: BaseException | None = None
+    spec: RunSpec,
+    prior: BaseException | None = None,
+    on_error: str | None = None,
 ) -> SimulationResult | CellFailure:
     """Run one cell under the retry/failure policy.
 
@@ -686,7 +819,9 @@ def _run_one(
     simulator errors fail immediately (re-running would reproduce them) —
     except a checkpointed stall, which retries *resuming* from the
     checkpoint; anything outside the taxonomy propagates — it is a bug,
-    not a cell failure.
+    not a cell failure.  ``on_error`` overrides the module-wide policy
+    for this call (the serving layer runs keep-going batches without
+    touching the CLI's global state).
     """
     attempts = 0
     last = prior
@@ -707,7 +842,7 @@ def _run_one(
             last = exc
             if _resumable_stall(exc, spec) and not spec.resume:
                 spec = replace(spec, resume=True)
-    return _record_failure(spec, last, attempts)
+    return _record_failure(spec, last, attempts, on_error)
 
 
 def run_cells(
@@ -715,6 +850,7 @@ def run_cells(
     jobs: int | None = None,
     use_cache: bool = True,
     label: str = "cells",
+    on_error: str | None = None,
 ) -> list[SimulationResult]:
     """Run every cell, in parallel for cache misses; results keep order.
 
@@ -726,7 +862,10 @@ def run_cells(
     Failing cells follow the retry/on-error policy (:func:`set_retry_policy`,
     :func:`set_on_error`): under ``keep-going`` a persistently failing
     cell's slot holds a :class:`~repro.errors.CellFailure` instead of a
-    result, and the sweep completes with partial data.
+    result, and the sweep completes with partial data.  ``on_error``
+    overrides the module-wide policy for this call only — the serving
+    layer's batched entry point, which must keep going without mutating
+    the CLI's globals.
     """
     cells = [cell.resolved() for cell in cells]
     keys = [_memo_key(cell) for cell in cells]
@@ -787,7 +926,7 @@ def run_cells(
                     # budget left runs here in the parent (a dead pool —
                     # BrokenProcessPool — also lands every remaining
                     # future here, degrading to a serial finish).
-                    results[i] = _run_one(cells[i], prior=exc)
+                    results[i] = _run_one(cells[i], prior=exc, on_error=on_error)
                 done += 1
                 report()
     else:
@@ -796,9 +935,9 @@ def run_cells(
                 with obs.tracer.wall_span(
                     "experiments", _cell_label(cells[i]), group=label
                 ):
-                    results[i] = _run_one(cells[i])
+                    results[i] = _run_one(cells[i], on_error=on_error)
             else:
-                results[i] = _run_one(cells[i])
+                results[i] = _run_one(cells[i], on_error=on_error)
             done += 1
             report()
     if cells:

@@ -159,6 +159,17 @@ def main(argv: list[str] | None = None) -> int:
         "or .repro-cache)",
     )
     parser.add_argument(
+        "--cache-quota-mb",
+        type=float,
+        metavar="MB",
+        default=None,
+        help=(
+            "bound the persistent cache directory; least-recently-used "
+            "entries are evicted past this size (default: unbounded, or "
+            "$REPRO_CACHE_QUOTA_MB)"
+        ),
+    )
+    parser.add_argument(
         "--no-progress",
         action="store_true",
         help="suppress per-cell progress lines on stderr",
@@ -308,6 +319,9 @@ def main(argv: list[str] | None = None) -> int:
         common.set_cache_enabled(False)
     if args.cache_dir:
         common.set_cache_dir(args.cache_dir)
+    if args.cache_quota_mb is not None:
+        common.set_cache_quota(int(args.cache_quota_mb * 1024 * 1024))
+        common.enforce_cache_quota()
     common.set_progress(not args.no_progress and sys.stderr.isatty())
 
     if args.chaos is not None:

@@ -70,6 +70,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import ComponentProfiler, profile_simulation
 from repro.obs.report import render_report
+from repro.obs.serve import ServeMetrics
 from repro.obs.tracer import TraceEvent, Tracer
 
 MODES = ("off", "light", "full")

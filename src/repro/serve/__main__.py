@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` — same entry as the ``repro-serve`` script."""
+
+import sys
+
+from repro.serve.cli import main
+
+sys.exit(main())

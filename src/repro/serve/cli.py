@@ -1,0 +1,143 @@
+"""``repro-serve`` — run the batching simulation server from the shell.
+
+Examples::
+
+    repro-serve --port 8787 --jobs 4 --cache-quota-mb 256
+    repro-serve --port 0 --ready-file /tmp/serve.json   # ephemeral port
+    python -m repro.serve --checkpoint-dir .serve-ckpt --cell-timeout 30
+
+The process runs until SIGTERM/SIGINT, then drains: the in-flight batch
+finishes (or checkpoints, when a checkpoint directory is configured),
+queued requests get structured 503 envelopes, and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.server import ServeConfig, main_loop
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Simulation-as-a-service over the repro run cache.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 picks an ephemeral port; see --ready-file)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per batch (run_cells jobs)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max admitted-but-unfinished requests before 429",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.01,
+        help="seconds the batcher waits to coalesce concurrent requests",
+    )
+    parser.add_argument(
+        "--batch-max", type=int, default=16, help="max cells per batch"
+    )
+    parser.add_argument(
+        "--max-body",
+        type=int,
+        default=1 << 20,
+        help="request body size limit in bytes",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="server-side wall budget per cell in seconds",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint stalled cells here and resume them on re-request",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="checkpoint cadence in batches (with --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run-cache directory (default: the repo-wide .repro-cache)",
+    )
+    parser.add_argument(
+        "--cache-quota-mb",
+        type=float,
+        default=None,
+        help="evict least-recently-used cache entries above this size",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the run cache entirely (every request recomputes)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds the in-flight batch gets to finish on shutdown",
+    )
+    parser.add_argument(
+        "--ready-file",
+        default=None,
+        help="write {host, port, pid} JSON here once listening",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the startup/shutdown announcements",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    quota = None
+    if args.cache_quota_mb is not None:
+        quota = int(args.cache_quota_mb * 1024 * 1024)
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        max_body=args.max_body,
+        cell_timeout=args.cell_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        cache_dir=args.cache_dir,
+        cache_quota_bytes=quota,
+        no_cache=args.no_cache,
+        drain_grace=args.drain_grace,
+        ready_file=args.ready_file,
+        announce=not args.quiet,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return main_loop(config_from_args(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""A small synchronous client for ``repro-serve`` — tests and benchmarks.
+
+Plain blocking sockets (one request per connection, mirroring the
+server's ``Connection: close`` discipline) so test threads and the
+benchmark harness need no event loop of their own.  :meth:`ServeClient.raw`
+sends arbitrary bytes for the malformed-framing negatives in
+``tests/test_serve_protocol.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+
+class ServeResponse:
+    """One parsed HTTP response: status, headers, body, decoded views."""
+
+    def __init__(self, status: int, headers: dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        return json.loads(self.body)
+
+    def events(self) -> list[dict]:
+        """Decode a JSONL event-stream body into a list of events."""
+        return [
+            json.loads(line)
+            for line in self.body.decode().splitlines()
+            if line.strip()
+        ]
+
+    def __repr__(self) -> str:
+        return f"ServeResponse(status={self.status}, bytes={len(self.body)})"
+
+
+class ServeClient:
+    """Blocking client for one server address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def raw(self, data: bytes) -> bytes:
+        """Send raw bytes, return everything the server answers."""
+        with self._connect() as sock:
+            sock.sendall(data)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                block = sock.recv(65536)
+                if not block:
+                    return b"".join(chunks)
+                chunks.append(block)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> ServeResponse:
+        head = [f"{method} {path} HTTP/1.1", f"Host: {self.host}"]
+        if body is not None:
+            head.append(f"Content-Length: {len(body)}")
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        payload = ("\r\n".join(head) + "\r\n\r\n").encode() + (body or b"")
+        return _parse_response(self.raw(payload))
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def get(self, path: str) -> ServeResponse:
+        return self.request("GET", path)
+
+    def healthz(self) -> dict:
+        return self.get("/v1/healthz").json()
+
+    def stats(self) -> dict:
+        return self.get("/v1/stats").json()["stats"]
+
+    def presets(self) -> dict:
+        return self.get("/v1/presets").json()
+
+    def run(self, **fields) -> ServeResponse:
+        """``POST /v1/run`` with a JSON body built from ``fields``."""
+        body = json.dumps(fields).encode()
+        return self.request(
+            "POST",
+            "/v1/run",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+
+    def run_stream(self, **fields) -> ServeResponse:
+        """Streaming run; ``.events()`` on the response decodes the JSONL."""
+        fields["stream"] = True
+        return self.run(**fields)
+
+
+def _parse_response(data: bytes) -> ServeResponse:
+    head, _, rest = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding") == "chunked":
+        body = _decode_chunked(rest)
+    else:
+        body = rest
+    return ServeResponse(status, headers, body)
+
+
+def _decode_chunked(data: bytes) -> bytes:
+    out = []
+    view = data
+    while view:
+        size_line, _, view = view.partition(b"\r\n")
+        try:
+            size = int(size_line.strip(), 16)
+        except ValueError:
+            break  # truncated trailer; return what decoded cleanly
+        if size == 0:
+            break
+        out.append(view[:size])
+        view = view[size + 2 :]  # skip the chunk's trailing CRLF
+    return b"".join(out)
+
+
+__all__ = ["ServeClient", "ServeResponse"]

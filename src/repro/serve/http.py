@@ -1,0 +1,225 @@
+"""Minimal HTTP/1.1 framing for the serving layer — stdlib asyncio only.
+
+The server speaks exactly the subset the protocol needs: one request per
+connection (``Connection: close``), ``Content-Length``-delimited bodies
+on the way in, and either a fixed JSON body or a chunked
+``application/x-ndjson`` event stream on the way out.  Framing errors
+never drop the connection silently — every malformed request maps to a
+:class:`~repro.errors.ProtocolError` that the server renders as a
+structured JSON error envelope (see :mod:`repro.serve.protocol`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ProtocolError, RequestTooLargeError
+
+#: Upper bound on the request line + headers block.
+MAX_HEADER_BYTES = 16 * 1024
+#: Wall-clock budget for a client to deliver its complete request.
+READ_TIMEOUT = 30.0
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """Decode the body as JSON, mapping failures to protocol errors."""
+        if not self.body:
+            raise ProtocolError("request body is empty; expected JSON")
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"request body is not valid JSON: {exc}"
+            ) from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> HttpRequest | None:
+    """Read one request; ``None`` on a clean EOF before any bytes.
+
+    Raises :class:`ProtocolError` for malformed framing and
+    :class:`RequestTooLargeError` when the declared body exceeds
+    ``max_body`` — *before* reading it, so an oversize upload is refused
+    cheaply.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=READ_TIMEOUT
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise ProtocolError("truncated HTTP request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("HTTP header block too large") from exc
+    except asyncio.TimeoutError as exc:
+        raise ProtocolError("timed out reading request head") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("HTTP header block too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise ProtocolError(
+                f"invalid Content-Length: {length_header!r}"
+            ) from exc
+        if length < 0:
+            raise ProtocolError(f"invalid Content-Length: {length_header!r}")
+        if length > max_body:
+            raise RequestTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{max_body}-byte limit"
+            )
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=READ_TIMEOUT
+                )
+            except asyncio.IncompleteReadError as exc:
+                raise ProtocolError("truncated request body") from exc
+            except asyncio.TimeoutError as exc:
+                raise ProtocolError("timed out reading request body") from exc
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(
+            "chunked request bodies are not supported; send Content-Length"
+        )
+
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_head(
+    status: int,
+    content_type: str = "application/json",
+    content_length: int | None = None,
+    chunked: bool = False,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Render a status line plus headers (always ``Connection: close``)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    elif content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Write one complete fixed-length response and flush it."""
+    writer.write(
+        response_head(
+            status,
+            content_type=content_type,
+            content_length=len(body),
+            extra_headers=extra_headers,
+        )
+    )
+    writer.write(body)
+    await writer.drain()
+
+
+class ChunkedWriter:
+    """Chunked ``application/x-ndjson`` event stream over one response.
+
+    Each :meth:`send` frames one JSON line as its own chunk so clients
+    can decode events incrementally; :meth:`close` writes the terminal
+    zero-length chunk.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._opened = False
+        self._closed = False
+
+    async def open(
+        self, status: int = 200, extra_headers: dict[str, str] | None = None
+    ) -> None:
+        self._writer.write(
+            response_head(
+                status,
+                content_type="application/x-ndjson",
+                chunked=True,
+                extra_headers=extra_headers,
+            )
+        )
+        await self._writer.drain()
+        self._opened = True
+
+    async def send(self, payload: bytes) -> None:
+        if not payload.endswith(b"\n"):
+            payload += b"\n"
+        self._writer.write(f"{len(payload):x}\r\n".encode("latin-1"))
+        self._writer.write(payload)
+        self._writer.write(b"\r\n")
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._opened and not self._closed:
+            self._closed = True
+            self._writer.write(b"0\r\n\r\n")
+            await self._writer.drain()

@@ -1,0 +1,80 @@
+"""In-process server fixtures for the serve test suites and benchmark.
+
+:func:`running_server` boots a :class:`~repro.serve.server.ReproServer`
+on a daemon thread, waits for the listener, yields ``(server, client)``,
+and on exit drains the server and *restores every run-cache global it
+touched* — cache dir, quota, enabled flag, stats, memo — so serve tests
+compose with the rest of the suite in any order.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Iterator
+
+from repro.experiments import common
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer, ServeConfig
+
+
+@contextmanager
+def _cache_state_guard() -> Iterator[None]:
+    """Snapshot/restore the run-cache globals a server may mutate."""
+    saved_dir = common._CACHE_DIR
+    saved_enabled = common._CACHE_ENABLED
+    saved_quota = common.cache_quota()
+    saved_stats = common.cache_stats()
+    saved_memo = dict(common._RUN_CACHE)
+    try:
+        yield
+    finally:
+        common._CACHE_DIR = saved_dir
+        common._CACHE_ENABLED = saved_enabled
+        common.set_cache_quota(saved_quota)
+        common.CACHE_STATS.update(saved_stats)
+        common._RUN_CACHE.clear()
+        common._RUN_CACHE.update(saved_memo)
+
+
+@contextmanager
+def running_server(
+    config: ServeConfig | None = None,
+    *,
+    drain_on_exit: bool = True,
+    **overrides,
+) -> Iterator[tuple[ReproServer, ServeClient]]:
+    """Run a server on a background thread for the duration of a test.
+
+    Keyword ``overrides`` patch individual :class:`ServeConfig` fields::
+
+        with running_server(cache_dir=str(tmp_path), batch_window=0.05) as (
+            server,
+            client,
+        ):
+            response = client.run(workload="KCORE")
+
+    ``drain_on_exit=False`` leaves shutdown to the test (lifecycle tests
+    that exercise :meth:`ReproServer.request_shutdown` themselves).
+    """
+    base = config or ServeConfig()
+    if overrides:
+        base = replace(base, **overrides)
+    with _cache_state_guard():
+        server = ReproServer(base)
+        thread = threading.Thread(
+            target=server.run, name="repro-serve-test", daemon=True
+        )
+        thread.start()
+        port = server.wait_ready(timeout=30.0)
+        client = ServeClient(base.host, port)
+        try:
+            yield server, client
+        finally:
+            if drain_on_exit:
+                server.request_shutdown()
+            thread.join(timeout=30.0)
+
+
+__all__ = ["running_server"]

@@ -1,6 +1,9 @@
-"""Persistent run-cache behaviour: hits, invalidation, key coverage."""
+"""Persistent run-cache behaviour: hits, invalidation, key coverage,
+quota/LRU eviction, and in-flight pinning (shared by the CLI and the
+serving layer)."""
 
 import dataclasses
+import os
 
 import pytest
 
@@ -149,3 +152,124 @@ class TestCacheKey:
         second = common.run_config("KCORE", cfg, scale="tiny")
         assert common.cache_stats()["disk_hits"] == 1
         assert second.exec_cycles == first.exec_cycles
+
+
+@pytest.fixture()
+def quota_cache(cache):
+    """The isolated cache dir plus guaranteed quota/pin cleanup."""
+    yield cache
+    common.set_cache_quota(None)
+    common._PINNED_PATHS.clear()
+
+
+def _spec(seed=0):
+    return common.RunSpec(
+        "KCORE", preset=systems.BASELINE, scale="tiny", seed=seed
+    ).resolved()
+
+
+def _fill(quota_cache, seeds):
+    """Run one cell per seed; return {seed: cache file} oldest-first."""
+    files = {}
+    for age, seed in enumerate(seeds):
+        common.run_cells([_spec(seed)], jobs=1)
+        (new,) = [p for p in quota_cache.glob("*.pkl") if p not in files.values()]
+        files[seed] = new
+        # Deterministic LRU order regardless of filesystem timestamp
+        # granularity: older seeds get strictly older mtimes.
+        stamp = 1_000_000 + age * 1000
+        os.utime(new, (stamp, stamp))
+    return files
+
+
+class TestCacheQuota:
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            common.set_cache_quota(0)
+        with pytest.raises(ValueError):
+            common.set_cache_quota(-1)
+        common.set_cache_quota(None)  # unbounded is fine
+        assert common.cache_quota() is None
+
+    def test_unbounded_by_default_evicts_nothing(self, quota_cache):
+        _fill(quota_cache, [0, 1, 2])
+        assert common.enforce_cache_quota() == 0
+        assert len(list(quota_cache.glob("*.pkl"))) == 3
+
+    def test_lru_eviction_drops_oldest_first(self, quota_cache):
+        files = _fill(quota_cache, [0, 1, 2])
+        one_entry = max(p.stat().st_size for p in files.values())
+        common.set_cache_quota(one_entry)
+        evicted = common.enforce_cache_quota()
+        assert evicted == 2
+        survivors = set(quota_cache.glob("*.pkl"))
+        assert survivors == {files[2]}, "newest entry must survive"
+        assert common.cache_stats()["evictions"] == 2
+
+    def test_disk_read_refreshes_recency(self, quota_cache):
+        files = _fill(quota_cache, [0, 1])
+        # A disk hit on the *older* entry must mark it recently used.
+        common.clear_run_cache()
+        common.run_cells([_spec(0)], jobs=1)
+        assert common.cache_stats()["disk_hits"] == 1
+        assert files[0].stat().st_mtime > files[1].stat().st_mtime
+        common.set_cache_quota(max(p.stat().st_size for p in files.values()))
+        common.enforce_cache_quota()
+        assert set(quota_cache.glob("*.pkl")) == {files[0]}
+
+    def test_store_enforces_quota_automatically(self, quota_cache):
+        files = _fill(quota_cache, [0])
+        common.set_cache_quota(files[0].stat().st_size)
+        common.run_cells([_spec(1)], jobs=1)  # store pushes past the quota
+        remaining = list(quota_cache.glob("*.pkl"))
+        assert len(remaining) == 1
+        assert common.cache_stats()["evictions"] >= 1
+
+    def test_pinned_entry_survives_eviction(self, quota_cache):
+        files = _fill(quota_cache, [0, 1])
+        key = common._memo_key(_spec(0))
+        common.pin_cache_entry(key)
+        try:
+            common.set_cache_quota(1)  # nothing fits
+            common.enforce_cache_quota()
+            survivors = set(quota_cache.glob("*.pkl"))
+            assert files[0] in survivors, "pinned entry was evicted"
+            assert files[1] not in survivors
+        finally:
+            common.unpin_cache_entry(key)
+        assert common.pinned_cache_entries() == 0
+        common.enforce_cache_quota()
+        assert not list(quota_cache.glob("*.pkl"))
+
+    def test_pins_are_refcounted(self, quota_cache):
+        key = common._memo_key(_spec(0))
+        common.pin_cache_entry(key)
+        common.pin_cache_entry(key)
+        assert common.pinned_cache_entries() == 1
+        common.unpin_cache_entry(key)
+        assert common.pinned_cache_entries() == 1, "one pin must remain"
+        common.unpin_cache_entry(key)
+        assert common.pinned_cache_entries() == 0
+        common.unpin_cache_entry(key)  # over-unpin is harmless
+        assert common.pinned_cache_entries() == 0
+
+
+class TestProbeCache:
+    def test_miss_returns_none_and_counts_nothing(self, cache):
+        assert common.probe_cache(_spec()) is None
+        stats = common.cache_stats()
+        assert stats["misses"] == 0
+        assert stats["memory_hits"] == 0
+
+    def test_memory_and_disk_probe_hits(self, cache):
+        common.run_cells([_spec()], jobs=1)
+        hit = common.probe_cache(_spec())
+        assert hit is not None
+        assert common.cache_stats()["memory_hits"] == 1
+        common.clear_run_cache()
+        assert common.probe_cache(_spec()) is not None
+        assert common.cache_stats()["disk_hits"] == 1
+
+    def test_probe_respects_use_cache(self, cache):
+        common.run_cells([_spec()], jobs=1)
+        assert common.probe_cache(_spec(), use_cache=False) is None

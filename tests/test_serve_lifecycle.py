@@ -1,0 +1,302 @@
+"""Serve lifecycle contract: drain, restart-warm, checkpoints, pinning.
+
+* Graceful drain: the in-flight batch finishes, queued requests resolve
+  to structured 503 shutdown envelopes, nothing hangs, and no orphaned
+  checkpoint files are left behind.
+* Restart-and-resume: a fresh server over the same cache directory
+  answers warm (disk hits) with identical results.
+* Stall/resume: a request whose wall budget is too tight checkpoints
+  instead of losing work; retries (server-side and client-side) resume
+  from the checkpoint and converge on the bit-identical uninterrupted
+  result, after which the checkpoint is discarded.
+* Quota eviction never removes an in-flight (pinned) cache entry.
+* The real SIGTERM path drains a subprocess server cleanly (exit 0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ServerShutdownError
+from repro.experiments import common
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    result_payload,
+    spec_from_request,
+    validate_run_request,
+)
+from repro.serve.testing import _cache_state_guard, running_server
+
+SLOW = {"workload": "BFS-TWC", "scale": "small", "seed": 0}
+FAST = {"workload": "KCORE", "scale": "tiny", "seed": 0}
+
+
+def _canon(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _wait_until(predicate, deadline: float = 15.0) -> bool:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _on_worker(client, batches: int = 1):
+    """True once ``batches`` batches have been dispatched to the worker."""
+    return client.stats()["server"]["batches"]["count"] >= batches
+
+
+@pytest.fixture(scope="module")
+def slow_oracle(tmp_path_factory):
+    """The uninterrupted result for the slow cell, computed server-free."""
+    cache = tmp_path_factory.mktemp("lifecycle-oracle")
+    with _cache_state_guard():
+        common.set_cache_dir(cache)
+        common.set_cache_enabled(True)
+        common.clear_run_cache()
+        spec = spec_from_request(validate_run_request(dict(SLOW)))
+        (result,) = common.run_cells([spec], jobs=1)
+    return result_payload(result)
+
+
+class TestDrain:
+    def test_inflight_finishes_queued_gets_shutdown_error(
+        self, tmp_path, slow_oracle
+    ):
+        ckpt = tmp_path / "ckpt"
+        with running_server(
+            cache_dir=str(tmp_path / "cache"),
+            checkpoint_dir=str(ckpt),
+            batch_window=0.0,
+            batch_max=1,
+            drain_on_exit=False,
+        ) as (server, client):
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                inflight = pool.submit(client.run, **SLOW)
+                # The slow cell is on the worker...
+                assert _wait_until(lambda: _on_worker(client))
+                queued = pool.submit(client.run, **FAST)
+                # ...and the fast cell sits admitted behind it (the
+                # slow cell's slot frees only when it settles).
+                assert _wait_until(lambda: server.backlog >= 2)
+                server.request_shutdown()
+
+                finished = inflight.result(timeout=30)
+                assert finished.status == 200
+                assert _canon(finished.json()["result"]) == _canon(
+                    slow_oracle
+                )
+
+                refused = queued.result(timeout=30)
+                assert refused.status == 503
+                envelope = refused.json()
+                assert envelope["status"] == "error"
+                assert envelope["error"]["code"] == "shutting_down"
+        # Zero orphaned checkpoints: the finished cell discarded its
+        # snapshot, the refused cell never created one.
+        assert not list(ckpt.glob("*.ckpt")) if ckpt.exists() else True
+        # The listener is down after the drain.
+        with pytest.raises(OSError):
+            socket.create_connection(
+                (client.host, client.port), timeout=1
+            ).close()
+
+    def test_submit_refuses_while_draining(self, tmp_path):
+        with running_server(
+            cache_dir=str(tmp_path),
+            batch_window=0.0,
+            batch_max=1,
+            drain_on_exit=False,
+        ) as (server, client):
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                inflight = pool.submit(client.run, **SLOW)
+                assert _wait_until(lambda: _on_worker(client))
+                server.request_shutdown()
+                deadline = time.monotonic() + 5
+                while not server.draining and time.monotonic() < deadline:
+                    time.sleep(0.01)  # the flag flips on the loop thread
+                assert server.draining
+                fields = validate_run_request(dict(FAST))
+                with pytest.raises(ServerShutdownError):
+                    server.submit(fields)
+                assert inflight.result(timeout=30).status == 200
+
+    def test_idle_server_drains_immediately(self, tmp_path):
+        with running_server(
+            cache_dir=str(tmp_path), drain_on_exit=False
+        ) as (server, client):
+            assert client.healthz()["healthy"] is True
+            started = time.monotonic()
+            server.request_shutdown()
+        assert time.monotonic() - started < 10
+
+
+class TestRestartWarm:
+    def test_second_server_over_same_cache_answers_warm(self, tmp_path):
+        cache = str(tmp_path / "shared-cache")
+        with running_server(cache_dir=cache) as (_server, client):
+            cold = client.run(**FAST)
+            assert cold.status == 200
+            assert cold.json()["cached"] is False
+            cold_payload = cold.json()["result"]
+        # New server instance, same cache directory: the entry comes
+        # back from disk (the in-process memo was restored/cleared by
+        # the fixture guard between the two servers).
+        with running_server(cache_dir=cache) as (_server, client):
+            baseline = client.stats()["run_cache"]
+            warm = client.run(**FAST)
+            assert warm.status == 200
+            assert warm.json()["cached"] is True
+            assert _canon(warm.json()["result"]) == _canon(cold_payload)
+            stats = client.stats()["run_cache"]
+            assert stats["disk_hits"] - baseline["disk_hits"] == 1
+
+
+class TestStallCheckpointResume:
+    def test_tight_budget_checkpoints_and_converges(
+        self, tmp_path, slow_oracle
+    ):
+        """A request whose wall budget can't cover the cell stalls into a
+        checkpoint; each retry resumes from it (never from scratch), so
+        bounded retries converge on the bit-identical uninterrupted
+        result and the checkpoint is discarded on completion."""
+        ckpt = tmp_path / "ckpt"
+        with running_server(
+            cache_dir=str(tmp_path / "cache"),
+            checkpoint_dir=str(ckpt),
+        ) as (_server, client):
+            final = None
+            saw_failure = False
+            for _attempt in range(8):
+                response = client.run(**SLOW, timeout=0.4, no_cache=False)
+                if response.status == 200:
+                    final = response
+                    break
+                envelope = response.json()
+                assert envelope["error"]["code"] == "cell_failed"
+                saw_failure = True
+                # The stall left a resumable snapshot behind.
+                assert list(ckpt.glob("*.ckpt")), "stall wrote no checkpoint"
+            assert final is not None, "cell never converged under retries"
+            assert _canon(final.json()["result"]) == _canon(slow_oracle)
+            # Completion discards the snapshot: nothing orphaned.
+            assert not list(ckpt.glob("*.ckpt"))
+            if not saw_failure:
+                # The in-request resume retry absorbed the stall — still a
+                # valid pass (the budget/speed race went the fast way),
+                # but the result identity above is the real lock.
+                pass
+
+
+class TestQuotaPinning:
+    def test_eviction_never_removes_inflight_entries(self, tmp_path):
+        """Entries being computed/served stay pinned: a store that trips
+        the quota mid-batch must not evict its own batchmates."""
+        probe_dir = tmp_path / "probe"
+        with _cache_state_guard():
+            common.set_cache_dir(probe_dir)
+            common.set_cache_enabled(True)
+            common.clear_run_cache()
+            spec = spec_from_request(validate_run_request(dict(FAST)))
+            common.run_cells([spec], jobs=1)
+            (entry,) = probe_dir.glob("*.pkl")
+            entry_size = entry.stat().st_size
+
+        cache = tmp_path / "cache"
+        with running_server(
+            cache_dir=str(cache),
+            cache_quota_bytes=int(entry_size * 1.5),
+            batch_window=0.4,
+        ) as (server, client):
+            # Two same-sized cells in one batch: the second store trips
+            # the quota while both entries are still pinned in flight.
+            requests = [
+                {"workload": "KCORE", "scale": "tiny", "seed": 0},
+                {"workload": "KCORE", "scale": "tiny", "seed": 1},
+            ]
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                responses = list(
+                    pool.map(lambda r: client.run(**r), requests)
+                )
+            assert all(r.status == 200 for r in responses)
+            assert {
+                r.json()["result"]["workload"] for r in responses
+            } == {"KCORE"}
+            # Both files survived the in-flight enforcement sweep.
+            assert len(list(cache.glob("*.pkl"))) == 2
+            assert client.stats()["server"]["cache"]["evictions"] == 0
+
+            # Once unpinned, the next store evicts down to the quota.
+            third = client.run(workload="KCORE", scale="tiny", seed=2)
+            assert third.status == 200
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if len(list(cache.glob("*.pkl"))) <= 2:
+                    break
+                time.sleep(0.05)
+            assert len(list(cache.glob("*.pkl"))) <= 2
+            assert common.pinned_cache_entries() == 0
+
+
+class TestSigterm:
+    def test_subprocess_server_drains_on_sigterm(self, tmp_path):
+        """The real signal path: SIGTERM lets the in-flight cell finish,
+        then the process exits 0."""
+        ready_file = tmp_path / "ready.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        repo_root = pathlib.Path(__file__).parent.parent
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve",
+                "--port",
+                "0",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--ready-file",
+                str(ready_file),
+                "--quiet",
+            ],
+            env=env,
+            cwd=repo_root,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not ready_file.exists():
+                assert time.monotonic() < deadline, "server never became ready"
+                assert proc.poll() is None, (
+                    f"server died early: {proc.stderr.read().decode()}"
+                )
+                time.sleep(0.05)
+            ready = json.loads(ready_file.read_text())
+            client = ServeClient(ready["host"], ready["port"])
+
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                inflight = pool.submit(client.run, **SLOW)
+                assert _wait_until(lambda: _on_worker(client))
+                proc.send_signal(signal.SIGTERM)
+                response = inflight.result(timeout=60)
+            assert response.status == 200
+            assert response.json()["result"]["workload"] == "BFS-TWC"
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
