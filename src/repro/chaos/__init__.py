@@ -33,6 +33,13 @@ Injector kinds (see :mod:`repro.chaos.injectors`):
                    the self-healing experiment harness.
 =================  =====================================================
 
+Three further *process-level* kinds — ``worker-kill``, ``worker-hang``,
+``worker-slow`` (see :mod:`repro.chaos.process`) — share the same spec
+grammar but act on the supervised pool's worker processes rather than on
+the simulation: they are split out of the parsed config before it
+reaches ``SimConfig`` (:func:`split_process_chaos`), never enter cache
+keys, and leave results bit-identical to a chaos-free run.
+
 Example::
 
     python -m repro BFS-TTC --chaos "dma-stall:prob=0.1,retries=3;drop-fault:prob=0.02" \
@@ -43,13 +50,23 @@ All injections are recorded through the active observability session
 ``SimulationResult.extras["chaos.<kind>"]``.
 """
 
-from repro.chaos.config import ChaosConfig, InjectorSpec, parse_chaos_spec
+from repro.chaos.config import (
+    PROCESS_KINDS,
+    ChaosConfig,
+    InjectorSpec,
+    parse_chaos_spec,
+    split_process_chaos,
+)
 from repro.chaos.injectors import INJECTOR_KINDS, ChaosSession
+from repro.chaos.process import plan_worker_chaos
 
 __all__ = [
     "ChaosConfig",
     "InjectorSpec",
     "parse_chaos_spec",
+    "split_process_chaos",
+    "plan_worker_chaos",
     "ChaosSession",
     "INJECTOR_KINDS",
+    "PROCESS_KINDS",
 ]

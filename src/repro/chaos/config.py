@@ -20,7 +20,18 @@ _KIND_PARAMS: dict[str, frozenset[str]] = {
     "dup-fault": _COMMON_PARAMS,
     "evict-contend": _COMMON_PARAMS | {"mult"},
     "fail-batch": frozenset({"batch"}),
+    "worker-kill": _COMMON_PARAMS | {"after"},
+    "worker-hang": _COMMON_PARAMS | {"after"},
+    "worker-slow": _COMMON_PARAMS | {"delay"},
 }
+
+#: Process-level injector kinds (see :mod:`repro.chaos.process`): they
+#: perturb the *worker process* running a cell, never the simulation
+#: inside it, so they are split out of :class:`ChaosConfig` before it
+#: reaches ``SimConfig`` and never participate in cache keys — a sweep
+#: under ``worker-kill`` must stay bit-identical to a chaos-free run
+#: (that identity is exactly what the supervision tests assert).
+PROCESS_KINDS = frozenset({"worker-kill", "worker-hang", "worker-slow"})
 
 
 @dataclass(frozen=True)
@@ -108,3 +119,27 @@ def parse_chaos_spec(spec: str, seed: int = 0) -> ChaosConfig:
     if not injectors:
         raise InjectionError("chaos spec names no injectors", spec=spec)
     return ChaosConfig(injectors=tuple(injectors), seed=seed)
+
+
+def split_process_chaos(
+    config: ChaosConfig | None,
+) -> tuple[ChaosConfig | None, ChaosConfig | None]:
+    """Split a parsed spec into ``(simulation chaos, process chaos)``.
+
+    Users write one ``--chaos`` string; simulation-level kinds ride into
+    :class:`~repro.gpu.config.SimConfig` (and the cache key) as before,
+    while :data:`PROCESS_KINDS` are routed to the supervised worker pool
+    and kept *out* of the key.  Either half is ``None`` when empty.
+    """
+    if config is None:
+        return None, None
+    sim = tuple(s for s in config.injectors if s.kind not in PROCESS_KINDS)
+    proc = tuple(s for s in config.injectors if s.kind in PROCESS_KINDS)
+    if not proc:
+        return config, None
+    if not sim:
+        return None, config
+    return (
+        ChaosConfig(injectors=sim, seed=config.seed),
+        ChaosConfig(injectors=proc, seed=config.seed),
+    )

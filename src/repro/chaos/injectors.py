@@ -18,10 +18,13 @@ from __future__ import annotations
 import random
 import zlib
 
-from repro.chaos.config import ChaosConfig, InjectorSpec
+from repro.chaos.config import PROCESS_KINDS, ChaosConfig, InjectorSpec
 from repro.errors import InjectionError
 
-#: All injector kinds, in the order their streams are derived.
+#: All *simulation-level* injector kinds, in the order their streams are
+#: derived.  Process-level kinds (:data:`repro.chaos.config.PROCESS_KINDS`)
+#: never reach a :class:`ChaosSession` — they act on worker processes via
+#: :mod:`repro.chaos.process` and the supervised pool.
 INJECTOR_KINDS = (
     "fault-latency",
     "dma-stall",
@@ -170,6 +173,13 @@ class ChaosSession:
             if spec.kind in self._by_kind:
                 raise InjectionError(
                     f"duplicate chaos injector {spec.kind!r}"
+                )
+            if spec.kind in PROCESS_KINDS:
+                raise InjectionError(
+                    f"{spec.kind!r} is a process-level injector: it acts "
+                    "on pool workers, not on the simulation — route it "
+                    "through repro.chaos.config.split_process_chaos",
+                    injector=spec.kind,
                 )
             self._by_kind[spec.kind] = _INJECTOR_CLASSES[spec.kind](
                 spec, config.seed

@@ -1,0 +1,86 @@
+"""Process-level chaos: deterministic crash/hang/slow plans for workers.
+
+The supervised pool (:mod:`repro.pool`) is defined by how it behaves when
+worker *processes* misbehave — segfaults, livelocks, pathological
+slowness — which no simulation-level injector can produce.  The three
+process kinds perturb the worker around its checkpoint writes:
+
+=================  ====================================================
+``worker-kill``    SIGKILL the worker immediately *after* it writes its
+                   ``after``-th checkpoint (``prob``, ``after``; with
+                   ``after`` unset a small deterministic write index is
+                   drawn per attempt).  Killing after the write is what
+                   makes the supervisor's resume path honest: the batch
+                   just completed is on disk, so no completed batch is
+                   ever recomputed.
+``worker-hang``    Stop heartbeating and block SIGTERM after the
+                   ``after``-th checkpoint write, forcing the supervisor
+                   through its full missed-heartbeat → SIGTERM →
+                   SIGKILL escalation (``prob``, ``after``).
+``worker-slow``    Sleep ``delay`` seconds at every checkpoint write
+                   (``prob``, ``delay``) — a degraded-but-alive worker
+                   that should *not* be killed, only reflected in the
+                   server's admission EMA.
+=================  ====================================================
+
+Plans are derived deterministically from ``(chaos seed, kind, the cell's
+memo-key digest, attempt number)`` — the same CRC-mixing scheme the
+simulation injectors use — so a chaotic sweep is reproducible
+bit-for-bit, and a killed cell's *next* attempt draws a fresh plan (a
+cell is never doomed to die at the same write forever; combined with
+kill-after-write this guarantees forward progress and convergence even
+at high kill probabilities).
+
+None of this ever reaches :class:`~repro.gpu.config.SimConfig` or a
+cache key: process chaos changes *where* a cell computes, never *what*
+it computes, and the supervision suites assert chaotic results are
+bit-identical to chaos-free golden runs.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.chaos.config import PROCESS_KINDS, ChaosConfig
+
+__all__ = ["PROCESS_KINDS", "plan_worker_chaos"]
+
+
+def _attempt_rng(seed: int, kind: str, digest: str, attempt: int) -> random.Random:
+    """Independent deterministic stream per (seed, kind, cell, attempt)."""
+    token = f"{kind}|{digest}|{attempt}".encode()
+    return random.Random((seed << 32) ^ zlib.crc32(token))
+
+
+def plan_worker_chaos(
+    config: ChaosConfig | None, digest: str, attempt: int
+) -> dict | None:
+    """The chaos plan one worker applies to one cell attempt.
+
+    Returns ``None`` (the overwhelmingly common case) or a plain dict —
+    picklable, shippable over the pool's task pipe — with any of:
+
+    * ``kill_at``: SIGKILL self right after this many checkpoint writes.
+    * ``hang_at``: go silent (no heartbeats, SIGTERM blocked) after this
+      many checkpoint writes.
+    * ``slow_s``: sleep this many seconds at every checkpoint write.
+    """
+    if config is None:
+        return None
+    plan: dict[str, float | int] = {}
+    for spec in config.injectors:
+        if spec.kind not in PROCESS_KINDS:
+            continue
+        rng = _attempt_rng(config.seed, spec.kind, digest, attempt)
+        if rng.random() >= spec.param("prob", 0.1):
+            continue
+        if spec.kind == "worker-kill":
+            after = int(spec.param("after", 0.0))
+            plan["kill_at"] = after if after > 0 else 1 + rng.randrange(2)
+        elif spec.kind == "worker-hang":
+            after = int(spec.param("after", 0.0))
+            plan["hang_at"] = after if after > 0 else 1 + rng.randrange(2)
+        elif spec.kind == "worker-slow":
+            plan["slow_s"] = max(0.0, spec.param("delay", 0.05))
+    return plan or None

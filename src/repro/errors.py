@@ -162,6 +162,35 @@ class ServerShutdownError(ServeError):
     code = "shutting_down"
 
 
+class PoolError(ReproError):
+    """Base class for the supervised worker pool (:mod:`repro.pool`)."""
+
+
+class WorkerCrashError(PoolError):
+    """A pool worker died (or was escalated to SIGKILL) mid-cell.
+
+    Raised *about* a worker, never *by* one: the supervisor constructs it
+    in the parent when a worker's process exits, its heartbeats stop, or
+    its per-cell deadline expires.  ``context`` names the worker, the
+    exit code / signal, and how the supervisor detected the death
+    (``cause`` is one of ``exit``, ``heartbeat``, ``deadline``,
+    ``spawn``).  The supervisor treats the attached task as resumable —
+    the replacement worker picks the cell up from its last
+    :class:`~repro.checkpoint.SimCheckpoint`.
+    """
+
+
+class PoolBrokenError(PoolError):
+    """The pool itself collapsed: workers could not be (re)spawned.
+
+    Unlike :class:`WorkerCrashError` (one worker, one task), this marks
+    pool-wide infrastructure breakage.  :func:`repro.experiments.common.run_cells`
+    responds by rebuilding the pool once and resubmitting only the
+    affected cells — surviving results are kept, and no per-cell retry
+    budget is burned on what was never the cell's fault.
+    """
+
+
 class LayoutError(ReproError):
     """An address-space layout request could not be satisfied."""
 
@@ -232,3 +261,32 @@ class CellFailure(ReproError):
         if getattr(self, "checkpoint_path", None) is not None:
             record["checkpoint_path"] = self.checkpoint_path
         return record
+
+
+class PoisonCellError(CellFailure):
+    """A cell whose memo key tripped the pool's per-key circuit breaker.
+
+    After ``breaker_threshold`` worker crashes on the same memo key, the
+    supervisor stops feeding the key to fresh workers (each crash costs a
+    worker restart; a deterministic crasher would take the whole fleet
+    down one worker at a time) and quarantines it: the key's outcome —
+    now and for every later submission to the same pool — is this record,
+    and its last checkpoint is set aside as ``*.ckpt.quarantine`` for
+    triage (see the poison-cell runbook in ``docs/robustness.md``).
+
+    It *is a* :class:`CellFailure`, so every existing policy applies:
+    ``keep-going`` sweeps report it in the cell's slot, the serving layer
+    renders it as a ``cell_failed`` error envelope, and failed cells are
+    never cached.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        crashes: int = 0,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("error_type", "PoisonCellError")
+        super().__init__(message, crashes=crashes, **kwargs)
+        self.crashes = crashes

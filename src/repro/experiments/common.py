@@ -12,11 +12,15 @@ their results can be reused forever.  Two mechanisms exploit that:
   survive across CLI invocations and benchmark sessions and are
   invalidated the moment the simulator changes.  Disable with
   ``REPRO_CACHE=0``, ``--no-cache``, or :func:`set_cache_enabled`.
-* **Parallel fan-out** — :func:`run_cells` (and :func:`run_matrix` on top
-  of it) dispatches cache-missing cells to a ``ProcessPoolExecutor``.
-  Results are merged back by cell index, so a parallel run is
-  bit-identical to the serial one.  Select workers with ``--jobs``,
-  ``REPRO_JOBS``, or :func:`set_default_jobs` (default: serial).
+* **Supervised parallel fan-out** — :func:`run_cells` (and
+  :func:`run_matrix` on top of it) dispatches cache-missing cells to a
+  crash-isolated :class:`repro.pool.SupervisedPool`: heartbeats, SIGTERM
+  → SIGKILL escalation for hung workers, restart with backoff, and
+  checkpoint-based handoff of interrupted cells (a crashed cell resumes
+  from its last batch boundary in a fresh worker).  Results are merged
+  back by cell index, so a parallel run is bit-identical to the serial
+  one.  Select workers with ``--jobs``, ``REPRO_JOBS``, or
+  :func:`set_default_jobs` (default: serial).
 """
 
 from __future__ import annotations
@@ -29,15 +33,18 @@ import sys
 import threading
 import time as _time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.chaos.config import ChaosConfig
-from repro.errors import CellFailure, ReproError, SimulationStalledError
+from repro.chaos.config import ChaosConfig, split_process_chaos
+from repro.errors import (
+    CellFailure,
+    PoolBrokenError,
+    ReproError,
+    SimulationStalledError,
+)
 from repro.gpu.config import SimConfig
 from repro.obs import current as _obs_current
 from repro.simulator import GpuUvmSimulator, SimulationResult
@@ -173,13 +180,26 @@ class RunSpec:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     resume: bool = False
+    #: Warp-model backend (``"soa"`` or ``"object"``); both are locked
+    #: bit-identical by the equivalence suites, but the choice is part of
+    #: *how* the cell is specified, so it participates in the cache key.
+    backend: str = "soa"
+    #: Process-level chaos for the supervised pool (``worker-kill`` /
+    #: ``worker-hang`` / ``worker-slow``).  Deliberately *not* part of
+    #: the cache key: process chaos perturbs where a cell computes,
+    #: never what it computes — a chaotic sweep shares cache entries
+    #: with (and stays bit-identical to) a chaos-free one.
+    pool_chaos: ChaosConfig | None = None
 
     def resolved(self) -> "RunSpec":
         """Canonicalise so equal runs always produce equal cache keys:
         upper-case the workload name (the registry is case-insensitive),
-        fill the scale-calibrated default ratio, and apply the module-wide
+        fill the scale-calibrated default ratio, apply the module-wide
         chaos/invariants/timeout defaults (:func:`set_default_chaos`,
-        :func:`set_default_invariants`, :func:`set_cell_timeout`)."""
+        :func:`set_default_invariants`, :func:`set_cell_timeout`), and
+        split process-level chaos kinds out of ``chaos`` into
+        ``pool_chaos`` so they can never contaminate ``SimConfig`` or a
+        cache key."""
         spec = self
         if spec.workload != spec.workload.upper():
             spec = replace(spec, workload=spec.workload.upper())
@@ -187,6 +207,20 @@ class RunSpec:
             spec = replace(spec, ratio=half_ratio(spec.scale))
         if spec.chaos is None and _DEFAULT_CHAOS is not None:
             spec = replace(spec, chaos=_DEFAULT_CHAOS)
+        if spec.chaos is not None:
+            sim_chaos, process_chaos = split_process_chaos(spec.chaos)
+            if process_chaos is not None:
+                spec = replace(
+                    spec,
+                    chaos=sim_chaos,
+                    pool_chaos=(
+                        spec.pool_chaos
+                        if spec.pool_chaos is not None
+                        else process_chaos
+                    ),
+                )
+        if spec.pool_chaos is None and _POOL_CHAOS is not None:
+            spec = replace(spec, pool_chaos=_POOL_CHAOS)
         if _DEFAULT_INVARIANTS and not spec.check_invariants:
             spec = replace(spec, check_invariants=True)
         if spec.wall_budget_seconds is None and _CELL_TIMEOUT is not None:
@@ -204,9 +238,10 @@ class RunSpec:
 def _memo_key(spec: RunSpec) -> tuple:
     """In-process cache key (matches the legacy ``_RUN_CACHE`` key plus
     ``max_events`` — a capped partial run must never satisfy a full one).
-    Checkpoint fields are deliberately absent: resumed and uninterrupted
-    runs produce identical results, so they share a cache entry."""
-    robustness = (spec.chaos, spec.check_invariants)
+    Checkpoint fields and ``pool_chaos`` are deliberately absent: resumed
+    runs and runs under process-level chaos produce results identical to
+    uninterrupted, chaos-free ones, so they share a cache entry."""
+    robustness = (spec.chaos, spec.check_invariants, spec.backend)
     if spec.config is not None:
         config_hash = hashlib.sha256(
             repr(spec.config).encode()
@@ -261,8 +296,32 @@ _ON_ERROR = "raise"
 
 #: Errors worth retrying: infrastructure hiccups, not simulator states.
 #: A deterministic simulation error would simply reproduce, so
-#: :class:`~repro.errors.ReproError` is deliberately absent.
-_TRANSIENT_ERRORS = (OSError, MemoryError, BrokenProcessPool)
+#: :class:`~repro.errors.ReproError` is deliberately absent.  So is
+#: ``MemoryError``: a cell that exhausts memory will exhaust it again —
+#: it surfaces as a structured :class:`~repro.errors.CellFailure`
+#: instead of burning the retry budget.  Pool-wide breakage
+#: (:class:`~repro.errors.PoolBrokenError`) is likewise not retried per
+#: cell: :func:`run_cells` rebuilds the pool once and resubmits only the
+#: affected cells.
+_TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (OSError,)
+
+# ---- Supervised pool policy (see docs/robustness.md) -----------------
+#: Process-level chaos applied to every cell whose spec doesn't carry
+#: its own (``worker-kill`` / ``worker-hang`` / ``worker-slow``).
+_POOL_CHAOS: ChaosConfig | None = None
+#: Heartbeat interval for pool workers (seconds).
+_POOL_HEARTBEAT = 0.25
+#: Hard per-cell wall deadline enforced by the pool supervisor
+#: (``None``: rely on the in-simulation watchdog only).
+_WORKER_DEADLINE: float | None = None
+#: Crashes on one memo key before the pool's circuit breaker quarantines
+#: it as a :class:`~repro.errors.PoisonCellError`.
+_BREAKER_THRESHOLD = 5
+#: Worker-process-local hook called with each freshly built/restored
+#: simulator (after checkpoints are enabled): the mount point for
+#: process-level chaos (:mod:`repro.pool.worker`).  Never set in the
+#: parent process.
+_CELL_HOOK: Callable | None = None
 
 #: Structured failures collected while ``_ON_ERROR == "keep-going"``.
 FAILURES: list[CellFailure] = []
@@ -310,9 +369,54 @@ def set_progress(enabled: bool) -> None:
 
 
 def set_default_chaos(chaos: ChaosConfig | None) -> None:
-    """Apply ``chaos`` to every subsequent cell (``None`` disables)."""
+    """Apply ``chaos`` to every subsequent cell (``None`` disables).
+
+    The config may freely mix simulation-level and process-level kinds:
+    :meth:`RunSpec.resolved` splits them, so ``worker-kill`` and friends
+    reach the supervised pool while the rest reaches ``SimConfig``.
+    """
     global _DEFAULT_CHAOS
     _DEFAULT_CHAOS = chaos
+
+
+def set_pool_chaos(chaos: ChaosConfig | None) -> None:
+    """Process-level chaos for every subsequent pooled cell.
+
+    Unlike :func:`set_default_chaos` this never touches cache keys or
+    ``SimConfig`` — it feeds :func:`repro.chaos.process.plan_worker_chaos`
+    in the supervised pool.
+    """
+    global _POOL_CHAOS
+    _POOL_CHAOS = chaos
+
+
+def set_pool_policy(
+    heartbeat: float | None = None,
+    deadline: float | None = None,
+    breaker_threshold: int | None = None,
+) -> None:
+    """Tune the supervised pool built by :func:`run_cells`.
+
+    Arguments left ``None`` keep their current values, except
+    ``deadline`` which is an absolute setting (pass ``0`` to clear it).
+    """
+    global _POOL_HEARTBEAT, _WORKER_DEADLINE, _BREAKER_THRESHOLD
+    if heartbeat is not None:
+        if heartbeat <= 0:
+            raise ValueError("heartbeat must be positive")
+        _POOL_HEARTBEAT = float(heartbeat)
+    if deadline is not None:
+        _WORKER_DEADLINE = float(deadline) if deadline > 0 else None
+    if breaker_threshold is not None:
+        if breaker_threshold < 1:
+            raise ValueError("breaker threshold must be at least 1")
+        _BREAKER_THRESHOLD = int(breaker_threshold)
+
+
+def set_cell_hook(hook: Callable | None) -> None:
+    """Install the worker-process simulator hook (pool internals)."""
+    global _CELL_HOOK
+    _CELL_HOOK = hook
 
 
 def set_default_invariants(enabled: bool) -> None:
@@ -662,11 +766,18 @@ def _cell_label(spec: RunSpec) -> str:
     return f"{spec.workload}/{system}@{spec.scale}"
 
 
+def _spec_digest(spec: RunSpec) -> str:
+    """Short stable digest of the memo key: names checkpoint files and
+    identifies the cell in the pool's circuit breaker and chaos plans."""
+    return hashlib.sha256(repr(_memo_key(spec)).encode()).hexdigest()[:24]
+
+
 def _checkpoint_file(spec: RunSpec) -> pathlib.Path:
     """The cell's stable checkpoint path: keyed by the memo key (which
     excludes the checkpoint fields themselves), so the fresh run, the
-    stall handler, and every resume attempt all agree on one file."""
-    digest = hashlib.sha256(repr(_memo_key(spec)).encode()).hexdigest()[:24]
+    stall handler, the pool's crash handoff, and every resume attempt
+    all agree on one file."""
+    digest = _spec_digest(spec)
     return pathlib.Path(spec.checkpoint_dir) / f"{spec.workload}-{digest}.ckpt"
 
 
@@ -707,6 +818,8 @@ def _simulate_spec(spec: RunSpec) -> SimulationResult:
                     every=spec.checkpoint_every,
                     basename=checkpoint_file.stem,
                 )
+                if _CELL_HOOK is not None:
+                    _CELL_HOOK(sim)
                 result = sim.resume(
                     max_events=spec.max_events,
                     wall_budget_seconds=spec.wall_budget_seconds,
@@ -733,13 +846,15 @@ def _simulate_spec(spec: RunSpec) -> SimulationResult:
             chaos=spec.chaos,
             check_invariants=spec.check_invariants,
         )
-    sim = GpuUvmSimulator(workload, config)
+    sim = GpuUvmSimulator(workload, config, backend=spec.backend)
     if checkpoint_file is not None:
         sim.enable_checkpoints(
             spec.checkpoint_dir,
             every=spec.checkpoint_every,
             basename=checkpoint_file.stem,
         )
+    if _CELL_HOOK is not None:
+        _CELL_HOOK(sim)
     result = sim.run(
         max_events=spec.max_events,
         wall_budget_seconds=spec.wall_budget_seconds,
@@ -776,8 +891,21 @@ def _record_failure(
     # resume the cell by hand even after the retry budget ran out.
     failure.flight_recorder = getattr(exc, "flight_recorder", None)
     failure.checkpoint_path = getattr(exc, "checkpoint_path", None)
+    return _deliver_failure(failure, on_error, cause=exc)
+
+
+def _deliver_failure(
+    failure: CellFailure,
+    on_error: str | None,
+    cause: BaseException | None = None,
+) -> CellFailure:
+    """Apply the on-error policy to a structured failure record.
+
+    Shared by :func:`_record_failure` (failures built here from raw
+    exceptions) and the pool path (failures built by the supervisor —
+    poison cells — that arrive pre-structured)."""
     if (on_error or _ON_ERROR) != "keep-going":
-        raise failure from exc
+        raise failure from cause
     if on_error is None:
         # Only the module-wide policy accumulates into FAILURES (drained
         # by the CLI's sweep report); per-call keep-going callers (the
@@ -838,7 +966,10 @@ def _run_one(
         attempts += 1
         try:
             return _simulate_spec(spec)
-        except (ReproError, *_TRANSIENT_ERRORS) as exc:
+        except (ReproError, MemoryError, *_TRANSIENT_ERRORS) as exc:
+            # MemoryError is caught (it becomes a structured CellFailure)
+            # but never retried: a cell that exhausts memory will simply
+            # exhaust it again.
             last = exc
             if _resumable_stall(exc, spec) and not spec.resume:
                 spec = replace(spec, resume=True)
@@ -851,6 +982,7 @@ def run_cells(
     use_cache: bool = True,
     label: str = "cells",
     on_error: str | None = None,
+    pool=None,
 ) -> list[SimulationResult]:
     """Run every cell, in parallel for cache misses; results keep order.
 
@@ -858,6 +990,17 @@ def run_cells(
     simulation the serial path would (same parameters, same seeds, fresh
     deterministic engine), and results are merged back by index — so
     ``jobs=N`` output is bit-identical to ``jobs=1``.
+
+    Parallel cells execute in a crash-isolated
+    :class:`repro.pool.SupervisedPool` (heartbeats, SIGTERM → SIGKILL
+    escalation, restart with backoff, checkpoint-based handoff of
+    interrupted cells, per-key circuit breaker).  Pass ``pool`` to run
+    on a caller-owned long-lived pool (the serving layer); otherwise an
+    ephemeral pool is built for the call whenever ``jobs > 1`` leaves
+    more than one cache miss.  If the pool itself breaks
+    (:class:`~repro.errors.PoolBrokenError`), it is rebuilt once and
+    only the affected cells are resubmitted — surviving results are
+    kept and no per-cell retry budget is burned.
 
     Failing cells follow the retry/on-error policy (:func:`set_retry_policy`,
     :func:`set_on_error`): under ``keep-going`` a persistently failing
@@ -901,7 +1044,7 @@ def run_cells(
         sys.stderr.flush()
 
     report()
-    if jobs > 1 and len(pending) > 1:
+    if pool is not None or (jobs > 1 and len(pending) > 1):
         # Worker processes have no obs session of their own: the fan-out
         # is summarised as one harness span (per-cell sim tracing needs
         # the serial path).
@@ -911,24 +1054,60 @@ def run_cells(
             )
         else:
             fan_out = nullcontext()
-        with fan_out, ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending))
-        ) as pool:
-            futures = {
-                pool.submit(_simulate_spec, cells[i]): i for i in pending
-            }
-            for future in as_completed(futures):
-                i = futures[future]
-                try:
-                    results[i] = future.result()
-                except (ReproError, *_TRANSIENT_ERRORS) as exc:
-                    # The worker's attempt counts as the first; any retry
-                    # budget left runs here in the parent (a dead pool —
-                    # BrokenProcessPool — also lands every remaining
-                    # future here, degrading to a serial finish).
-                    results[i] = _run_one(cells[i], prior=exc, on_error=on_error)
-                done += 1
-                report()
+        own_pool = None
+        active = pool
+        if active is None:
+            from repro.pool import PoolConfig, SupervisedPool
+
+            own_pool = SupervisedPool(
+                PoolConfig(
+                    workers=min(jobs, len(pending)),
+                    heartbeat=_POOL_HEARTBEAT,
+                    cell_deadline=_WORKER_DEADLINE,
+                    breaker_threshold=_BREAKER_THRESHOLD,
+                )
+            )
+            active = own_pool
+
+        def on_cell_done(index: int, outcome) -> None:
+            nonlocal done
+            done += 1
+            report()
+
+        try:
+            with fan_out:
+                specs = [cells[i] for i in pending]
+                outcomes = active.run(specs, on_done=on_cell_done)
+                broken = [
+                    k for k, outcome in enumerate(outcomes)
+                    if isinstance(outcome, PoolBrokenError)
+                ]
+                if broken:
+                    # Pool-wide breakage is not the cells' fault: rebuild
+                    # the fleet once and resubmit only the broken cells.
+                    active.rebuild()
+                    retried = active.run(
+                        [specs[k] for k in broken], on_done=None
+                    )
+                    for k, outcome in zip(broken, retried):
+                        outcomes[k] = outcome
+                for i, outcome in zip(pending, outcomes):
+                    if isinstance(outcome, SimulationResult):
+                        results[i] = outcome
+                    elif isinstance(outcome, CellFailure):
+                        # Pre-structured by the supervisor (poison cells):
+                        # deliver under this call's on-error policy.
+                        results[i] = _deliver_failure(outcome, on_error)
+                    else:
+                        # The cell itself raised in its worker: the
+                        # worker's attempt counts as the first, and any
+                        # retry budget left runs here in the parent.
+                        results[i] = _run_one(
+                            cells[i], prior=outcome, on_error=on_error
+                        )
+        finally:
+            if own_pool is not None:
+                own_pool.close()
     else:
         for i in pending:
             if obs is not None:

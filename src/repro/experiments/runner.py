@@ -230,7 +230,9 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "fault-injection spec applied to every cell, e.g. "
-            "'dma-stall:prob=0.2;drop-fault:prob=0.05' (see repro.chaos)"
+            "'dma-stall:prob=0.2;drop-fault:prob=0.05' (see repro.chaos); "
+            "process-level kinds (worker-kill/-hang/-slow) act on the "
+            "supervised pool's workers instead of the simulation"
         ),
     )
     parser.add_argument(
@@ -290,6 +292,26 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--worker-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "hard per-cell wall deadline enforced by the pool supervisor "
+            "(catches workers too wedged to honour --cell-timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker crashes on one cell before it is quarantined as a "
+            "poison cell instead of being retried (default: 5)"
+        ),
+    )
+    parser.add_argument(
         "--keep-going",
         action="store_true",
         help=(
@@ -337,6 +359,11 @@ def main(argv: list[str] | None = None) -> int:
         common.set_cell_timeout(args.cell_timeout)
     if args.retries is not None:
         common.set_retry_policy(args.retries)
+    if args.worker_deadline is not None or args.breaker_threshold is not None:
+        common.set_pool_policy(
+            deadline=args.worker_deadline,
+            breaker_threshold=args.breaker_threshold,
+        )
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
     if args.checkpoint_dir:

@@ -52,6 +52,7 @@ __all__ = [
     "BATCH_PIPELINE",
     "ENGINE_LOOP",
     "WARP_LIFECYCLE",
+    "WORKER_LIFECYCLE",
 ]
 
 
@@ -408,6 +409,32 @@ WARP_LIFECYCLE = MachineSpec(
         Transition("resume", ("suspended",), "ready"),
         Transition("retire", ("running",), "ready"),
         Transition("finish", ("running", "ready"), "finished"),
+    ),
+)
+
+
+#: One supervised pool worker (:mod:`repro.pool`).  The supervisor holds
+#: a machine per worker slot; every observation (a ``ready`` message, an
+#: assignment, a missed-heartbeat kill) is a declared transition, so a
+#: supervision bug surfaces as an :class:`~repro.errors.IllegalTransition`
+#: carrying the worker's snapshot instead of silently corrupting the
+#: pool's bookkeeping.  ``crash`` is legal from every live state — a
+#: worker can die while spawning (exec failure), while idle (OOM killer),
+#: while busy (the interesting case: its cell is resumed elsewhere from
+#: its last checkpoint), and while draining.  ``dead`` is terminal: a
+#: restart is a *new* worker with a fresh machine, which is what keeps
+#: per-worker restart counts honest.
+WORKER_LIFECYCLE = MachineSpec(
+    "pool-worker",
+    states=("spawning", "idle", "busy", "draining", "dead"),
+    initial="spawning",
+    transitions=(
+        Transition("ready", ("spawning",), "idle"),
+        Transition("assign", ("idle",), "busy"),
+        Transition("complete", ("busy",), "idle"),
+        Transition("drain", ("spawning", "idle", "busy"), "draining"),
+        Transition("exit", ("draining",), "dead"),
+        Transition("crash", ("spawning", "idle", "busy", "draining"), "dead"),
     ),
 )
 

@@ -103,6 +103,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="write {host, port, pid} JSON here once listening",
     )
     parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="run batches on the server thread instead of the "
+        "crash-isolated supervised worker pool",
+    )
+    parser.add_argument(
+        "--worker-heartbeat",
+        type=float,
+        default=0.25,
+        help="pool worker heartbeat cadence in seconds (0 disables "
+        "heartbeat supervision)",
+    )
+    parser.add_argument(
+        "--worker-deadline",
+        type=float,
+        default=None,
+        help="hard per-cell wall deadline enforced by the supervisor",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="worker crashes on one memo key before it is quarantined "
+        "as a poison cell",
+    )
+    parser.add_argument(
+        "--pool-chaos",
+        default=None,
+        help="process-level chaos spec for the pool (worker-kill / "
+        "worker-hang / worker-slow), e.g. 'worker-kill:prob=0.2'",
+    )
+    parser.add_argument(
+        "--pool-chaos-seed",
+        type=int,
+        default=0,
+        help="seed for --pool-chaos plans",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the startup/shutdown announcements",
@@ -114,6 +152,24 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
     quota = None
     if args.cache_quota_mb is not None:
         quota = int(args.cache_quota_mb * 1024 * 1024)
+    pool_chaos = None
+    if args.pool_chaos:
+        from repro.chaos import PROCESS_KINDS, parse_chaos_spec
+
+        pool_chaos = parse_chaos_spec(
+            args.pool_chaos, seed=args.pool_chaos_seed
+        )
+        foreign = [
+            s.kind
+            for s in pool_chaos.injectors
+            if s.kind not in PROCESS_KINDS
+        ]
+        if foreign:
+            raise SystemExit(
+                f"repro-serve: --pool-chaos accepts process-level kinds "
+                f"only (got {foreign}; use --chaos in run requests for "
+                f"simulation-level injectors)"
+            )
     return ServeConfig(
         host=args.host,
         port=args.port,
@@ -131,6 +187,11 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         drain_grace=args.drain_grace,
         ready_file=args.ready_file,
         announce=not args.quiet,
+        supervised=not args.no_supervise,
+        worker_heartbeat=args.worker_heartbeat or None,
+        worker_deadline=args.worker_deadline,
+        breaker_threshold=args.breaker_threshold,
+        pool_chaos=pool_chaos,
     )
 
 

@@ -97,6 +97,7 @@ async def _handle_healthz(server, writer) -> None:
             draining=server.draining,
             backlog=server.backlog,
             uptime_s=round(time.monotonic() - server.started_at, 3),
+            workers=server.pool_health(),
         ),
     )
 

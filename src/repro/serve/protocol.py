@@ -229,7 +229,18 @@ def error_envelope(exc: BaseException) -> dict:
             "code": "cell_failed",
             "http_status": 500,
             "message": str(exc),
+            "error_type": exc.error_type,
+            "workload": exc.workload,
+            "attempts": exc.attempts,
         }
+        # Poison cells (quarantined by the pool's circuit breaker) name
+        # their crash count and the quarantined checkpoint so operators
+        # can triage without server access (docs/robustness.md runbook).
+        crashes = getattr(exc, "crashes", None)
+        if crashes:
+            error["crashes"] = crashes
+        if exc.checkpoint_path is not None:
+            error["checkpoint_path"] = str(exc.checkpoint_path)
     else:
         error = {
             "code": "internal_error",

@@ -8,8 +8,10 @@ Request lifecycle (see ``docs/serving.md`` for the ops view)::
       └─ dedupe (in-flight map by memo key)→ ride the existing future
       └─ admission (bounded backlog)       → 429 + Retry-After when full
       └─ batcher (collect up to batch_window / batch_max)
-      └─ run_cells on a worker thread      → existing retry/timeout/
-                                             checkpoint machinery
+      └─ run_cells on a worker thread      → supervised worker pool
+                                             (crash isolation, restarts,
+                                             checkpoint handoff) plus the
+                                             existing retry machinery
       └─ settle: futures resolve, cache entry unpinned, metrics updated
 
 All bookkeeping (queue, dedupe map, backlog counter, metrics) is
@@ -84,6 +86,21 @@ class ServeConfig:
     ready_file: str | None = None
     #: Print a "listening" line on stdout when ready.
     announce: bool = False
+    #: Execute batches on a long-lived supervised worker pool
+    #: (:mod:`repro.pool`): cells run crash-isolated in subprocesses with
+    #: heartbeats, restart-with-backoff, and checkpoint-based handoff of
+    #: interrupted cells.  Off: cells run on the batch thread itself.
+    supervised: bool = True
+    #: Heartbeat cadence for pool workers (None disables supervision
+    #: heartbeats; see :class:`repro.pool.PoolConfig`).
+    worker_heartbeat: float | None = 0.25
+    #: Hard per-cell wall deadline enforced by the supervisor.
+    worker_deadline: float | None = None
+    #: Crashes on one memo key before it is quarantined as poisoned.
+    breaker_threshold: int = 5
+    #: Process-level chaos for the pool (tests/CI), a parsed
+    #: :class:`~repro.chaos.ChaosConfig` of ``worker-*`` kinds only.
+    pool_chaos: object | None = None
 
 
 class _Ticket:
@@ -138,6 +155,7 @@ class ReproServer:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-batch"
         )
+        self._pool = None  # SupervisedPool when config.supervised
         self._ema_cell_seconds = 0.25
         self._evictions_seen = 0
 
@@ -181,6 +199,24 @@ class ReproServer:
         self._queue = asyncio.Queue()
         self._shutdown_event = asyncio.Event()
         self._apply_cache_settings()
+        if self.config.supervised:
+            # Built after the cache redirect so forked workers inherit
+            # the server's cache settings, and before the listener so a
+            # broken pool config fails startup loudly.
+            from repro.pool import PoolConfig, SupervisedPool
+
+            self._pool = SupervisedPool(
+                PoolConfig(
+                    workers=max(1, self.config.jobs),
+                    heartbeat=self.config.worker_heartbeat,
+                    cell_deadline=self.config.worker_deadline,
+                    breaker_threshold=self.config.breaker_threshold,
+                    checkpoint_dir=self.config.checkpoint_dir,
+                    checkpoint_every=self.config.checkpoint_every,
+                    chaos=self.config.pool_chaos,
+                )
+            )
+            self._pool.start()
         server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -198,6 +234,8 @@ class ReproServer:
             if not batcher.done():
                 batcher.cancel()
             self._executor.shutdown(wait=False)
+            if self._pool is not None:
+                self._pool.close()
 
     def _apply_cache_settings(self) -> None:
         if self.config.cache_dir is not None:
@@ -323,7 +361,26 @@ class ReproServer:
 
     def _retry_after(self) -> int:
         estimate = self._backlog * self._ema_cell_seconds
+        if self._pool is not None:
+            # Degraded capacity (crashed workers mid-respawn) stretches
+            # the estimate: half the fleet alive means double the wait.
+            target = max(1, self.config.jobs)
+            alive = self._pool.workers_alive()
+            estimate *= target / max(alive, 0.5)
         return max(1, int(round(estimate)))
+
+    def pool_health(self) -> dict | None:
+        """Supervision summary for ``/v1/healthz`` (None: unsupervised)."""
+        if self._pool is None:
+            return None
+        snap = self._pool.stats()
+        return {
+            "workers_alive": snap["workers"]["alive"],
+            "workers_target": snap["workers"]["target"],
+            "restarts": snap["restarts"],
+            "quarantined_keys": len(snap["quarantined_keys"]),
+            "broken": snap["broken"],
+        }
 
     def _settle_ticket(self, ticket: _Ticket, outcome) -> None:
         """Resolve one ticket and release its admission slot (loop thread)."""
@@ -434,6 +491,7 @@ class ReproServer:
                 use_cache=use_cache,
                 label="serve",
                 on_error="keep-going",
+                pool=self._pool,
             )
             for i, result in zip(indices, results):
                 outcomes[i] = result
@@ -470,6 +528,7 @@ class ReproServer:
             "backlog": self._backlog,
             "draining": self._draining,
             "uptime_s": time.monotonic() - self.started_at,
+            "pool": self._pool.stats() if self._pool is not None else None,
             "config": {
                 "jobs": self.config.jobs,
                 "queue_limit": self.config.queue_limit,
@@ -478,6 +537,8 @@ class ReproServer:
                 "cache_quota_bytes": self.config.cache_quota_bytes,
                 "cell_timeout": self.config.cell_timeout,
                 "checkpoint_dir": self.config.checkpoint_dir,
+                "supervised": self.config.supervised,
+                "breaker_threshold": self.config.breaker_threshold,
             },
         }
 
